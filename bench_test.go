@@ -1,0 +1,391 @@
+// Package bonsai's repository-root benchmarks regenerate every table and
+// figure of the paper's evaluation (§8) as testing.B harnesses. One
+// benchmark (family) exists per table row group and per figure; run
+//
+//	go test -bench=. -benchmem
+//
+// and compare against EXPERIMENTS.md. Custom metrics report the quantities
+// the paper tabulates (abstract nodes/links, compression ratios, roles,
+// speedups) alongside wall-clock timings.
+package bonsai
+
+import (
+	"fmt"
+	"testing"
+
+	"bonsai/internal/build"
+	"bonsai/internal/config"
+	"bonsai/internal/core"
+	"bonsai/internal/netgen"
+	"bonsai/internal/policy"
+	"bonsai/internal/verify"
+)
+
+// benchCompress measures per-EC compression on a network, reporting the
+// abstract sizes as metrics (Table 1 columns).
+func benchCompress(b *testing.B, net *config.Network, sampleECs int) {
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := bd.Classes()
+	if sampleECs > 0 && len(classes) > sampleECs {
+		classes = classes[:sampleECs]
+	}
+	comp := bd.NewCompiler(true)
+	// Warm BDD tables (the paper reports BDD build time separately).
+	if _, err := bd.Compress(comp, classes[0]); err != nil {
+		b.Fatal(err)
+	}
+	var absNodes, absLinks int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cls := classes[i%len(classes)]
+		abs, err := bd.Compress(comp, cls)
+		if err != nil {
+			b.Fatal(err)
+		}
+		absNodes, absLinks = abs.NumAbstractNodes(), abs.NumAbstractEdges()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(absNodes), "absNodes")
+	b.ReportMetric(float64(absLinks), "absLinks")
+	b.ReportMetric(float64(bd.G.NumNodes())/float64(absNodes), "nodeRatio")
+}
+
+// BenchmarkTable1aFattree regenerates the Fattree rows of Table 1(a):
+// 180/500/1125 concrete nodes all compress to 6 abstract nodes and 5 links
+// per destination class (72/200/450 classes).
+func BenchmarkTable1aFattree(b *testing.B) {
+	for _, k := range []int{12, 20, 30} {
+		k := k
+		b.Run(fmt.Sprintf("nodes=%d", 5*k*k/4), func(b *testing.B) {
+			benchCompress(b, netgen.Fattree(k, netgen.PolicyShortestPath), 8)
+		})
+	}
+}
+
+// BenchmarkTable1aRing regenerates the Ring rows of Table 1(a): n nodes
+// compress to n/2+1 (path-length preservation bounds compression), and the
+// per-EC cost grows with the diameter because refinement splits one
+// distance class per sweep.
+func BenchmarkTable1aRing(b *testing.B) {
+	for _, n := range []int{100, 500, 1000} {
+		n := n
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			benchCompress(b, netgen.Ring(n), 2)
+		})
+	}
+}
+
+// BenchmarkTable1aMesh regenerates the Full Mesh rows of Table 1(a): any
+// size compresses to 2 nodes and 1 link thanks to the destination-based
+// prefix filters killing transit edges.
+func BenchmarkTable1aMesh(b *testing.B) {
+	for _, n := range []int{50, 150, 250} {
+		n := n
+		b.Run(fmt.Sprintf("nodes=%d", n), func(b *testing.B) {
+			benchCompress(b, netgen.FullMesh(n), 4)
+		})
+	}
+}
+
+// BenchmarkTable1bDatacenter regenerates the datacenter row of Table 1(b)
+// on the calibrated stand-in (197 routers, ~1.3k classes, 14k interfaces).
+func BenchmarkTable1bDatacenter(b *testing.B) {
+	net := netgen.Datacenter(netgen.DCOptions{})
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(bd.RoleCount(false, false)), "rolesFull")
+	b.ReportMetric(float64(bd.RoleCount(true, false)), "rolesErased")
+	b.ReportMetric(float64(bd.RoleCount(true, true)), "rolesNoStatics")
+	benchCompress(b, net, 16)
+}
+
+// BenchmarkTable1bWAN regenerates the WAN row of Table 1(b) on the stand-in
+// (1086 devices, eBGP+OSPF+static, neighbor-specific filters -> ~137 roles).
+func BenchmarkTable1bWAN(b *testing.B) {
+	net := netgen.WAN(netgen.WANOptions{})
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(bd.RoleCount(true, false)), "rolesErased")
+	benchCompress(b, net, 8)
+}
+
+// BenchmarkFigure11 contrasts the fattree abstraction under the two
+// policies of Figure 11: shortest-path stays at 6 nodes; the middle-tier-
+// prefers-bottom policy needs a larger abstraction (BGP case splitting).
+func BenchmarkFigure11(b *testing.B) {
+	for _, pol := range []struct {
+		name string
+		p    netgen.FattreePolicy
+	}{
+		{"shortest-path", netgen.PolicyShortestPath},
+		{"prefer-bottom", netgen.PolicyPreferBottom},
+	} {
+		pol := pol
+		b.Run(pol.name, func(b *testing.B) {
+			benchCompress(b, netgen.Fattree(8, pol.p), 4)
+		})
+	}
+}
+
+// benchFig12 measures one Figure 12 point: all-pairs reachability with
+// per-query certification, concrete vs compressed.
+func benchFig12(b *testing.B, net *config.Network, bonsai bool, maxClasses int) {
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := verify.Options{MaxClasses: maxClasses, Workers: 1, PerPairCertification: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var res *verify.Result
+		if bonsai {
+			res, err = verify.AllPairsBonsai(bd, opts)
+		} else {
+			res, err = verify.AllPairsConcrete(bd, opts)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.ReachablePairs != res.Pairs {
+			b.Fatalf("reachability regression: %v", res)
+		}
+	}
+}
+
+// BenchmarkFigure12Fattree regenerates Figure 12(a): verification time vs
+// fattree size. The concrete series grows super-linearly; the bonsai series
+// (which includes compression time) stays near-flat — the widening gap is
+// the paper's headline result.
+func BenchmarkFigure12Fattree(b *testing.B) {
+	for _, k := range []int{4, 6, 8} {
+		net := netgen.Fattree(k, netgen.PolicyShortestPath)
+		for _, mode := range []string{"concrete", "bonsai"} {
+			mode := mode
+			b.Run(fmt.Sprintf("nodes=%d/%s", 5*k*k/4, mode), func(b *testing.B) {
+				benchFig12(b, net, mode == "bonsai", 8)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12Mesh regenerates Figure 12(b) on full meshes.
+func BenchmarkFigure12Mesh(b *testing.B) {
+	for _, n := range []int{10, 20, 40} {
+		net := netgen.FullMesh(n)
+		for _, mode := range []string{"concrete", "bonsai"} {
+			mode := mode
+			b.Run(fmt.Sprintf("nodes=%d/%s", n, mode), func(b *testing.B) {
+				benchFig12(b, net, mode == "bonsai", 8)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12Ring regenerates Figure 12(c) on rings.
+func BenchmarkFigure12Ring(b *testing.B) {
+	for _, n := range []int{20, 40, 80} {
+		net := netgen.Ring(n)
+		for _, mode := range []string{"concrete", "bonsai"} {
+			mode := mode
+			b.Run(fmt.Sprintf("nodes=%d/%s", n, mode), func(b *testing.B) {
+				benchFig12(b, net, mode == "bonsai", 8)
+			})
+		}
+	}
+}
+
+// BenchmarkBatfishQuery regenerates the §8 single-query experiment: one
+// port-to-port reachability query on the datacenter, concrete vs bonsai
+// (the paper: 77 s with Bonsai, out-of-memory without).
+func BenchmarkBatfishQuery(b *testing.B) {
+	net := netgen.Datacenter(netgen.DCOptions{})
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dest := net.Routers["leaf-0-00"].Originate[0].String()
+	for _, mode := range []string{"concrete", "bonsai"} {
+		mode := mode
+		b.Run(mode, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := verify.Reach(bd, "leaf-1-00", dest, mode == "bonsai")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("query flipped to unreachable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTagErasure measures the §8 attribute-abstraction ablation
+// on the datacenter: compressing with the unused-community-erasing h versus
+// the full community universe (larger BDDs, more roles, bigger abstractions).
+func BenchmarkAblationTagErasure(b *testing.B) {
+	net := netgen.Datacenter(netgen.DCOptions{})
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls := bd.Classes()[1] // a leaf prefix (class 0 is the default route)
+	for _, erase := range []bool{true, false} {
+		erase := erase
+		name := "erased"
+		if !erase {
+			name = "full-universe"
+		}
+		b.Run(name, func(b *testing.B) {
+			comp := bd.NewCompiler(erase)
+			var absNodes int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				abs, err := bd.Compress(comp, cls)
+				if err != nil {
+					b.Fatal(err)
+				}
+				absNodes = abs.NumAbstractNodes()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(absNodes), "absNodes")
+			b.ReportMetric(float64(comp.M.Size()), "bddNodes")
+		})
+	}
+}
+
+// BenchmarkAblationSharedCompiler quantifies amortising BDD construction
+// across destination classes (one compiler reused, as Bonsai does) versus
+// rebuilding the compiler per class.
+func BenchmarkAblationSharedCompiler(b *testing.B) {
+	net := netgen.Fattree(12, netgen.PolicyShortestPath)
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	classes := bd.Classes()[:8]
+	b.Run("shared", func(b *testing.B) {
+		comp := bd.NewCompiler(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bd.Compress(comp, classes[i%len(classes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh-per-class", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			comp := bd.NewCompiler(true)
+			if _, err := bd.Compress(comp, classes[i%len(classes)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPolicyEquivalence compares the cost of deciding policy
+// equivalence the Bonsai way (compile to canonical BDDs once, then O(1)
+// handle comparison) against re-deriving syntactic role signatures, the
+// design choice §5.1 motivates.
+func BenchmarkAblationPolicyEquivalence(b *testing.B) {
+	net := netgen.Datacenter(netgen.DCOptions{})
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls := bd.Classes()[1]
+	b.Run("bdd-canonical", func(b *testing.B) {
+		comp := bd.NewCompiler(true)
+		keyFn := bd.EdgeKeyFunc(comp, cls)
+		edges := bd.G.Edges()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := edges[i%len(edges)]
+			k1 := keyFn(e.U, e.V)
+			k2 := keyFn(e.U, e.V)
+			if k1 != k2 {
+				b.Fatal("canonical keys unstable")
+			}
+		}
+	})
+	b.Run("syntactic-signature", func(b *testing.B) {
+		matched := map[string]bool{}
+		_ = matched
+		names := bd.Cfg.RouterNames()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r := bd.Cfg.Routers[names[i%len(names)]]
+			s1 := build.RoleSignature(r, nil, true, false)
+			s2 := build.RoleSignature(r, nil, true, false)
+			if s1 != s2 {
+				b.Fatal("signatures unstable")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationModes contrasts the two refinement modes of §4 on the
+// policy-rich fattree (Figure 11's prefer-bottom): ModeEffective (∀∃ only —
+// NOT sound for BGP with loop prevention, measured for the ablation) versus
+// ModeBGP (∀∀ strengthening around multi-preference groups plus case
+// splitting). The sound mode pays with a larger abstraction and more
+// refinement work.
+func BenchmarkAblationModes(b *testing.B) {
+	net := netgen.Fattree(8, netgen.PolicyPreferBottom)
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls := bd.Classes()[0]
+	dest := bd.G.MustLookup(cls.Origins[0])
+	comp := bd.NewCompiler(true)
+	keyFn := bd.EdgeKeyFunc(comp, cls)
+	prefsFn := bd.PrefsFunc(cls)
+	for _, mode := range []struct {
+		name string
+		m    core.Mode
+	}{
+		{"forall-exists-unsound", core.ModeEffective},
+		{"bgp-effective", core.ModeBGP},
+	} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var nodes int
+			for i := 0; i < b.N; i++ {
+				abs := core.FindAbstraction(bd.G, dest, core.Options{
+					Mode: mode.m, EdgeKey: keyFn, Prefs: prefsFn,
+				})
+				nodes = abs.NumAbstractNodes()
+			}
+			b.ReportMetric(float64(nodes), "absNodes")
+		})
+	}
+}
+
+// BenchmarkCompilePolicies measures raw BDD compilation of the Figure 10
+// style policies across a whole network.
+func BenchmarkCompilePolicies(b *testing.B) {
+	net := netgen.Datacenter(netgen.DCOptions{})
+	bd, err := build.New(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cls := bd.Classes()[1]
+	edges := bd.G.Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var comp *policy.Compiler
+		comp = bd.NewCompiler(true)
+		keyFn := bd.EdgeKeyFunc(comp, cls)
+		for _, e := range edges {
+			keyFn(e.U, e.V)
+		}
+	}
+}

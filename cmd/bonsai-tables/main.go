@@ -1,0 +1,123 @@
+// Command bonsai-tables regenerates the paper's evaluation tables and
+// figure series as text (see EXPERIMENTS.md for the paper-vs-measured
+// comparison).
+//
+//	bonsai-tables -table 1a          Table 1(a): synthetic networks
+//	bonsai-tables -table 1b          Table 1(b): operational stand-ins
+//	bonsai-tables -fig 11            Figure 11: fattree policies
+//	bonsai-tables -fig 12            Figure 12: verification time sweeps
+//	bonsai-tables -batfish           §8 single-query experiment
+//	bonsai-tables -all               everything
+//
+// Add -quick for reduced sizes (seconds instead of minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"bonsai/internal/experiments"
+)
+
+func main() {
+	table := flag.String("table", "", "1a or 1b")
+	fig := flag.String("fig", "", "11 or 12")
+	batfish := flag.Bool("batfish", false, "run the §8 single-query experiment")
+	all := flag.Bool("all", false, "run everything")
+	quick := flag.Bool("quick", false, "reduced sizes")
+	flag.Parse()
+
+	ran := false
+	if *all || *table == "1a" {
+		ran = true
+		fmt.Println("== Table 1(a): synthetic networks ==")
+		rows, err := experiments.Table1Synthetic(*quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r)
+		}
+		fmt.Println()
+	}
+	if *all || *table == "1b" {
+		ran = true
+		fmt.Println("== Table 1(b): operational network stand-ins ==")
+		rows, err := experiments.Table1Real(*quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Println(" ", r.Table1Row)
+			fmt.Printf("    interfaces %d, roles: %d full / %d erased / %d without statics\n",
+				r.Ifaces, r.RolesFull, r.RolesErased, r.RolesNoStatics)
+		}
+		fmt.Println()
+	}
+	if *all || *fig == "11" {
+		ran = true
+		k := 8
+		if *quick {
+			k = 4
+		}
+		fmt.Println("== Figure 11: fattree abstraction size by policy ==")
+		res, err := experiments.Figure11(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  k=%d  shortest-path: %d nodes / %d links\n", res.K, res.ShortestPathNodes, res.ShortestPathLinks)
+		fmt.Printf("  k=%d  prefer-bottom: %d nodes / %d links (larger, as in the paper)\n",
+			res.K, res.PreferBottomNodes, res.PreferBottomLinks)
+		fmt.Println()
+	}
+	if *all || *fig == "12" {
+		ran = true
+		fmt.Println("== Figure 12: all-pairs verification time (per-query certification) ==")
+		sweeps := []struct {
+			family string
+			sizes  []int
+			maxECs int
+		}{
+			{"fattree", []int{4, 6, 8, 10}, 8},
+			{"mesh", []int{10, 20, 40, 60}, 8},
+			{"ring", []int{20, 40, 80, 120}, 8},
+		}
+		if *quick {
+			sweeps = []struct {
+				family string
+				sizes  []int
+				maxECs int
+			}{
+				{"fattree", []int{4, 6}, 4},
+				{"mesh", []int{10, 20}, 4},
+				{"ring", []int{20, 40}, 4},
+			}
+		}
+		for _, s := range sweeps {
+			fmt.Printf("  (%s, first %d classes per size)\n", s.family, s.maxECs)
+			points, err := experiments.Figure12(s.family, s.sizes, s.maxECs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, p := range points {
+				fmt.Println("   ", p)
+			}
+		}
+		fmt.Println()
+	}
+	if *all || *batfish {
+		ran = true
+		fmt.Println("== §8: single reachability query on the datacenter ==")
+		res, err := experiments.BatfishQuery(*quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s -> %s reachable=%v\n", res.Src, res.Dest, res.Reachable)
+		fmt.Printf("  concrete: %v   with bonsai: %v\n", res.Concrete, res.Bonsai)
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+	}
+}

@@ -1,0 +1,258 @@
+// Command bonsai is the command-line front end to the control-plane
+// compression library: generate evaluation networks, compress them,
+// simulate the control plane, count router roles, and answer reachability
+// queries with or without compression.
+//
+//	bonsai gen -topo fattree -k 8 > net.txt
+//	bonsai compress -f net.txt
+//	bonsai compress -f net.txt -dest 10.0.0.0/24 -write-abstract
+//	bonsai simulate -f net.txt -dest 10.0.0.0/24
+//	bonsai verify -f net.txt -src edge-1-1 -dest 10.0.0.0/24 -bonsai
+//	bonsai roles -f net.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bonsai/internal/build"
+	"bonsai/internal/config"
+	"bonsai/internal/ec"
+	"bonsai/internal/netgen"
+	"bonsai/internal/srp"
+	"bonsai/internal/verify"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "roles":
+		err = cmdRoles(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bonsai:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles> [flags]
+  gen       -topo fattree|ring|mesh|dc|wan [-k N] [-n N] [-policy shortest|prefer-bottom]
+  compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N]
+  simulate  -f FILE -dest PREFIX
+  verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair]
+  roles     -f FILE [-no-erase] [-no-statics]`)
+	os.Exit(2)
+}
+
+func loadNetwork(path string) (*build.Builder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	net, err := config.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	return build.New(net)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	topoName := fs.String("topo", "fattree", "fattree|ring|mesh|dc|wan")
+	k := fs.Int("k", 8, "fat-tree arity")
+	n := fs.Int("n", 50, "ring/mesh size")
+	pol := fs.String("policy", "shortest", "fattree policy: shortest|prefer-bottom")
+	fs.Parse(args)
+
+	var net *config.Network
+	switch *topoName {
+	case "fattree":
+		p := netgen.PolicyShortestPath
+		if *pol == "prefer-bottom" {
+			p = netgen.PolicyPreferBottom
+		}
+		net = netgen.Fattree(*k, p)
+	case "ring":
+		net = netgen.Ring(*n)
+	case "mesh":
+		net = netgen.FullMesh(*n)
+	case "dc":
+		net = netgen.Datacenter(netgen.DCOptions{})
+	case "wan":
+		net = netgen.WAN(netgen.WANOptions{})
+	default:
+		return fmt.Errorf("unknown topology %q", *topoName)
+	}
+	return config.Print(os.Stdout, net)
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	file := fs.String("f", "", "network file")
+	dest := fs.String("dest", "", "compress only this destination prefix")
+	writeAbstract := fs.Bool("write-abstract", false, "print the compressed configuration (requires -dest)")
+	maxClasses := fs.Int("max", 0, "max destination classes (0 = all)")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("compress: -f required")
+	}
+	b, err := loadNetwork(*file)
+	if err != nil {
+		return err
+	}
+
+	classes := b.Classes()
+	if *dest != "" {
+		cls, err := ec.ClassFor(b.Cfg, *dest)
+		if err != nil {
+			return err
+		}
+		classes = []ec.Class{cls}
+	} else if *maxClasses > 0 && len(classes) > *maxClasses {
+		classes = classes[:*maxClasses]
+	}
+
+	bddStart := time.Now()
+	comp := b.NewCompiler(true)
+	bddSetup := time.Since(bddStart)
+
+	var sumNodes, sumEdges int
+	start := time.Now()
+	for _, cls := range classes {
+		abs, err := b.Compress(comp, cls)
+		if err != nil {
+			return err
+		}
+		sumNodes += abs.NumAbstractNodes()
+		sumEdges += abs.NumAbstractEdges()
+		if *writeAbstract && *dest != "" {
+			absCfg, err := b.AbstractConfig(cls, abs)
+			if err != nil {
+				return err
+			}
+			return config.Print(os.Stdout, absCfg)
+		}
+	}
+	elapsed := time.Since(start)
+	nc := float64(len(classes))
+	fmt.Printf("network: %d nodes, %d links, %d interfaces, %d classes (compressed %d)\n",
+		b.G.NumNodes(), b.G.NumLinks(), b.Cfg.NumInterfaces(), len(b.Classes()), len(classes))
+	fmt.Printf("abstract: avg %.1f nodes / %.1f links (%.2fx / %.2fx)\n",
+		float64(sumNodes)/nc, float64(sumEdges)/nc,
+		float64(b.G.NumNodes())*nc/float64(sumNodes),
+		float64(b.G.NumLinks())*nc/float64(sumEdges))
+	fmt.Printf("time: bdd setup %v, compression %v total (%v per class)\n",
+		bddSetup.Round(time.Millisecond), elapsed.Round(time.Millisecond),
+		(elapsed / time.Duration(len(classes))).Round(time.Microsecond))
+	return nil
+}
+
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	file := fs.String("f", "", "network file")
+	dest := fs.String("dest", "", "destination prefix")
+	fs.Parse(args)
+	if *file == "" || *dest == "" {
+		return fmt.Errorf("simulate: -f and -dest required")
+	}
+	b, err := loadNetwork(*file)
+	if err != nil {
+		return err
+	}
+	cls, err := ec.ClassFor(b.Cfg, *dest)
+	if err != nil {
+		return err
+	}
+	inst, err := b.Instance(cls)
+	if err != nil {
+		return err
+	}
+	sol, err := srp.Solve(inst)
+	if err != nil {
+		return err
+	}
+	for _, u := range b.G.Nodes() {
+		var hops []string
+		for _, v := range sol.Fwd[u] {
+			hops = append(hops, b.G.Name(v))
+		}
+		fmt.Printf("%-16s label=%v fwd=%v\n", b.G.Name(u), sol.Label[u], hops)
+	}
+	return nil
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	file := fs.String("f", "", "network file")
+	src := fs.String("src", "", "source router")
+	dest := fs.String("dest", "", "destination prefix")
+	allPairs := fs.Bool("all-pairs", false, "verify all-pairs reachability")
+	bonsai := fs.Bool("bonsai", false, "compress before verifying")
+	perPair := fs.Bool("per-pair", false, "per-query certification (Minesweeper-style cost)")
+	maxClasses := fs.Int("max", 0, "max destination classes")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("verify: -f required")
+	}
+	b, err := loadNetwork(*file)
+	if err != nil {
+		return err
+	}
+	if *allPairs {
+		opts := verify.Options{MaxClasses: *maxClasses, PerPairCertification: *perPair}
+		var res *verify.Result
+		if *bonsai {
+			res, err = verify.AllPairsBonsai(b, opts)
+		} else {
+			res, err = verify.AllPairsConcrete(b, opts)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		return nil
+	}
+	if *src == "" || *dest == "" {
+		return fmt.Errorf("verify: -src and -dest (or -all-pairs) required")
+	}
+	ok, dur, err := verify.Reach(b, *src, *dest, *bonsai)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reachable=%v in %v\n", ok, dur.Round(time.Microsecond))
+	return nil
+}
+
+func cmdRoles(args []string) error {
+	fs := flag.NewFlagSet("roles", flag.ExitOnError)
+	file := fs.String("f", "", "network file")
+	noErase := fs.Bool("no-erase", false, "count unused communities as distinct")
+	noStatics := fs.Bool("no-statics", false, "ignore static routes")
+	fs.Parse(args)
+	if *file == "" {
+		return fmt.Errorf("roles: -f required")
+	}
+	b, err := loadNetwork(*file)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d roles among %d routers\n", b.RoleCount(!*noErase, *noStatics), b.G.NumNodes())
+	return nil
+}

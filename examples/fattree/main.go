@@ -1,0 +1,90 @@
+// Command fattree reproduces the datacenter experiments: it generates a
+// k-ary fat-tree running eBGP (Table 1a), compresses every destination
+// equivalence class, verifies CP-equivalence for a sample of classes, and
+// contrasts the shortest-path policy with the "middle tier prefers the
+// bottom tier" policy of Figure 11, whose abstraction is necessarily larger.
+//
+// Usage: fattree [-k 8] [-verify 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bonsai/internal/build"
+	"bonsai/internal/equiv"
+	"bonsai/internal/netgen"
+)
+
+func main() {
+	k := flag.Int("k", 8, "fat-tree arity (even)")
+	verifyN := flag.Int("verify", 4, "classes to verify for CP-equivalence")
+	flag.Parse()
+
+	for _, pol := range []struct {
+		name string
+		p    netgen.FattreePolicy
+	}{
+		{"shortest-path", netgen.PolicyShortestPath},
+		{"prefer-bottom (Figure 11)", netgen.PolicyPreferBottom},
+	} {
+		net := netgen.Fattree(*k, pol.p)
+		b, err := build.New(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		classes := b.Classes()
+		fmt.Printf("== fattree k=%d, policy %s ==\n", *k, pol.name)
+		fmt.Printf("concrete: %d routers, %d links, %d destination classes\n",
+			b.G.NumNodes(), b.G.NumLinks(), len(classes))
+
+		comp := b.NewCompiler(true)
+		start := time.Now()
+		var sumNodes, sumEdges int
+		for _, cls := range classes {
+			abs, err := b.Compress(comp, cls)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sumNodes += abs.NumAbstractNodes()
+			sumEdges += abs.NumAbstractEdges()
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("compressed: avg %.1f nodes / %.1f links per class (%.2fx / %.2fx), %v total (%v per class)\n",
+			avg(sumNodes, len(classes)), avg(sumEdges, len(classes)),
+			float64(b.G.NumNodes())/avg(sumNodes, len(classes)),
+			float64(b.G.NumLinks())/avg(sumEdges, len(classes)),
+			elapsed.Round(time.Millisecond), (elapsed / time.Duration(len(classes))).Round(time.Microsecond))
+
+		for i := 0; i < *verifyN && i < len(classes); i++ {
+			cls := classes[i]
+			abs, err := b.Compress(comp, cls)
+			if err != nil {
+				log.Fatal(err)
+			}
+			conc, err := b.Instance(cls)
+			if err != nil {
+				log.Fatal(err)
+			}
+			abst, err := b.AbstractInstance(cls, abs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := equiv.CheckAcrossSolutions(conc, abst, abs, 4); err != nil {
+				log.Fatalf("class %v: %v", cls.Prefix, err)
+			}
+		}
+		fmt.Printf("CP-equivalence verified on %d classes\n\n", min(*verifyN, len(classes)))
+	}
+}
+
+func avg(sum, n int) float64 { return float64(sum) / float64(n) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

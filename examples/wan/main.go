@@ -1,0 +1,88 @@
+// Command wan exercises the multi-protocol machinery of §6 on the WAN
+// stand-in (Table 1b): eBGP backbone, per-site OSPF with OSPF-to-BGP
+// redistribution at the gateways, static defaults on access switches, and
+// neighbor-specific prefix filters. It compresses the network, reports the
+// role structure, answers a reachability query with and without Bonsai, and
+// writes the compressed network back out as configurations.
+//
+// Usage: wan [-sites 12] [-print-abstract]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"bonsai/internal/build"
+	"bonsai/internal/config"
+	"bonsai/internal/netgen"
+	"bonsai/internal/verify"
+)
+
+func main() {
+	sites := flag.Int("sites", 12, "number of sites")
+	printAbstract := flag.Bool("print-abstract", false, "print the compressed configuration")
+	flag.Parse()
+
+	net := netgen.WAN(netgen.WANOptions{Backbone: 10, Sites: *sites, SwitchesPerSite: 5})
+	b, err := build.New(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	classes := b.Classes()
+	fmt.Printf("WAN: %d devices, %d links, %d destination classes\n",
+		b.G.NumNodes(), b.G.NumLinks(), len(classes))
+	fmt.Printf("router roles: %d (with unused-tag erasure), %d (without)\n",
+		b.RoleCount(true, false), b.RoleCount(false, false))
+
+	comp := b.NewCompiler(true)
+	var sumNodes, sumEdges int
+	start := time.Now()
+	for _, cls := range classes {
+		abs, err := b.Compress(comp, cls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sumNodes += abs.NumAbstractNodes()
+		sumEdges += abs.NumAbstractEdges()
+	}
+	fmt.Printf("compressed: avg %.1f nodes / %.1f links per class (%.1fx / %.1fx) in %v\n",
+		float64(sumNodes)/float64(len(classes)), float64(sumEdges)/float64(len(classes)),
+		float64(b.G.NumNodes())*float64(len(classes))/float64(sumNodes),
+		float64(b.G.NumLinks())*float64(len(classes))/float64(sumEdges),
+		time.Since(start).Round(time.Millisecond))
+
+	// A reachability query from a remote switch to a site prefix, answered
+	// both ways (the §8 Batfish experiment in miniature).
+	dest := classes[0].Prefix.String()
+	src := fmt.Sprintf("sw-%03d-0", *sites-1)
+	for _, bonsai := range []bool{false, true} {
+		ok, dur, err := verify.Reach(b, src, dest, bonsai)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "concrete"
+		if bonsai {
+			mode = "bonsai  "
+		}
+		fmt.Printf("reach %s -> %s [%s]: %v in %v\n", src, dest, mode, ok, dur.Round(time.Microsecond))
+	}
+
+	if *printAbstract {
+		cls := classes[0]
+		abs, err := b.Compress(comp, cls)
+		if err != nil {
+			log.Fatal(err)
+		}
+		absCfg, err := b.AbstractConfig(cls, abs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n-- compressed configuration for %v --\n", cls.Prefix)
+		if err := config.Print(os.Stdout, absCfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// with hash-consing, so that two boolean functions are semantically equal if
+// and only if their node handles are equal. Bonsai relies on this canonical
+// property to compare router transfer functions in O(1) after construction
+// (paper §5.1, "Encoding transfer function using BDDs").
+//
+// The implementation is a classic unique-table + memoised-ITE design
+// (Bryant 1986, Brace-Rudell-Bryant 1990) built only on the standard library.
+// A Manager owns all nodes; Node values are indices into the manager and are
+// only meaningful together with the manager that produced them.
+package bdd
+
+import "fmt"
+
+// Node is a handle to a BDD node within a Manager. The two terminals are
+// False (0) and True (1). Node handles are canonical: within one Manager,
+// equal handles represent equal boolean functions and vice versa.
+type Node int32
+
+// Terminal nodes, valid for every Manager.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// node is the internal representation: a decision on variable level with a
+// low branch (variable false) and high branch (variable true).
+type node struct {
+	level    int32
+	lo, hi   Node
+	nextHash int32 // next node index in the unique-table bucket chain, -1 none
+}
+
+// Manager owns a universe of BDD nodes over a fixed number of variables.
+// Variable indices run from 0 (top of every diagram) to NumVars-1.
+// The zero value is not usable; call New.
+type Manager struct {
+	nvars   int32
+	nodes   []node
+	buckets []int32 // unique table: hash -> first node index in chain
+	mask    uint32
+
+	ite     map[iteKey]Node
+	apply2  map[apply2Key]Node
+	unary   map[unaryKey]Node
+	satmemo map[Node]float64
+}
+
+type iteKey struct{ f, g, h Node }
+
+type apply2Key struct {
+	op   uint8
+	a, b Node
+}
+
+type unaryKey struct {
+	op  uint8
+	a   Node
+	arg int32
+}
+
+const (
+	opNot uint8 = iota
+	opAnd
+	opOr
+	opXor
+	opRestrictF
+	opRestrictT
+	opExists
+	opSupport
+)
+
+// New creates a manager for numVars boolean variables.
+func New(numVars int) *Manager {
+	if numVars < 0 {
+		panic("bdd: negative variable count")
+	}
+	m := &Manager{
+		nvars:   int32(numVars),
+		ite:     make(map[iteKey]Node),
+		apply2:  make(map[apply2Key]Node),
+		unary:   make(map[unaryKey]Node),
+		satmemo: make(map[Node]float64),
+	}
+	const initialBuckets = 1 << 12
+	m.buckets = make([]int32, initialBuckets)
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	m.mask = initialBuckets - 1
+	// Terminals occupy slots 0 and 1. Their level is nvars, one past the
+	// last real variable, which makes level comparisons uniform.
+	m.nodes = append(m.nodes,
+		node{level: m.nvars, lo: False, hi: False, nextHash: -1},
+		node{level: m.nvars, lo: True, hi: True, nextHash: -1},
+	)
+	return m
+}
+
+// NumVars reports the number of variables the manager was created with.
+func (m *Manager) NumVars() int { return int(m.nvars) }
+
+// Size reports the total number of live nodes (including terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+func (m *Manager) hash(level int32, lo, hi Node) uint32 {
+	h := uint32(level)*0x9e3779b1 ^ uint32(lo)*0x85ebca6b ^ uint32(hi)*0xc2b2ae35
+	h ^= h >> 16
+	return h & m.mask
+}
+
+func (m *Manager) rehash() {
+	newSize := (m.mask + 1) * 2
+	m.buckets = make([]int32, newSize)
+	for i := range m.buckets {
+		m.buckets[i] = -1
+	}
+	m.mask = newSize - 1
+	for i := 2; i < len(m.nodes); i++ {
+		n := &m.nodes[i]
+		h := m.hash(n.level, n.lo, n.hi)
+		n.nextHash = m.buckets[h]
+		m.buckets[h] = int32(i)
+	}
+}
+
+// mk returns the canonical node (level, lo, hi), applying the ROBDD
+// reduction rules.
+func (m *Manager) mk(level int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	h := m.hash(level, lo, hi)
+	for i := m.buckets[h]; i >= 0; i = m.nodes[i].nextHash {
+		n := &m.nodes[i]
+		if n.level == level && n.lo == lo && n.hi == hi {
+			return Node(i)
+		}
+	}
+	if len(m.nodes) >= int(m.mask+1)*4 {
+		m.rehash()
+		h = m.hash(level, lo, hi)
+	}
+	idx := int32(len(m.nodes))
+	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi, nextHash: m.buckets[h]})
+	m.buckets[h] = idx
+	return Node(idx)
+}
+
+// Var returns the BDD for variable i.
+func (m *Manager) Var(i int) Node {
+	if i < 0 || int32(i) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// NVar returns the BDD for the negation of variable i.
+func (m *Manager) NVar(i int) Node {
+	if i < 0 || int32(i) >= m.nvars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	}
+	return m.mk(int32(i), True, False)
+}
+
+// Const returns True or False.
+func (m *Manager) Const(b bool) Node {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Level reports the decision variable of n, or NumVars for terminals.
+func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
+
+// Low returns the low (variable=false) child of n.
+func (m *Manager) Low(n Node) Node { return m.nodes[n].lo }
+
+// High returns the high (variable=true) child of n.
+func (m *Manager) High(n Node) Node { return m.nodes[n].hi }
+
+// Not returns the complement of a.
+func (m *Manager) Not(a Node) Node {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	k := unaryKey{op: opNot, a: a}
+	if r, ok := m.unary[k]; ok {
+		return r
+	}
+	n := m.nodes[a]
+	r := m.mk(n.level, m.Not(n.lo), m.Not(n.hi))
+	m.unary[k] = r
+	return r
+}
+
+// And returns the conjunction of a and b.
+func (m *Manager) And(a, b Node) Node {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	k := apply2Key{op: opAnd, a: a, b: b}
+	if r, ok := m.apply2[k]; ok {
+		return r
+	}
+	r := m.applyRec(opAnd, a, b)
+	m.apply2[k] = r
+	return r
+}
+
+// Or returns the disjunction of a and b.
+func (m *Manager) Or(a, b Node) Node {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == b:
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	k := apply2Key{op: opOr, a: a, b: b}
+	if r, ok := m.apply2[k]; ok {
+		return r
+	}
+	r := m.applyRec(opOr, a, b)
+	m.apply2[k] = r
+	return r
+}
+
+// Xor returns the exclusive-or of a and b.
+func (m *Manager) Xor(a, b Node) Node {
+	switch {
+	case a == False:
+		return b
+	case b == False:
+		return a
+	case a == True:
+		return m.Not(b)
+	case b == True:
+		return m.Not(a)
+	case a == b:
+		return False
+	}
+	if a > b {
+		a, b = b, a
+	}
+	k := apply2Key{op: opXor, a: a, b: b}
+	if r, ok := m.apply2[k]; ok {
+		return r
+	}
+	r := m.applyRec(opXor, a, b)
+	m.apply2[k] = r
+	return r
+}
+
+func (m *Manager) applyRec(op uint8, a, b Node) Node {
+	na, nb := m.nodes[a], m.nodes[b]
+	level := na.level
+	if nb.level < level {
+		level = nb.level
+	}
+	alo, ahi := a, a
+	if na.level == level {
+		alo, ahi = na.lo, na.hi
+	}
+	blo, bhi := b, b
+	if nb.level == level {
+		blo, bhi = nb.lo, nb.hi
+	}
+	var lo, hi Node
+	switch op {
+	case opAnd:
+		lo, hi = m.And(alo, blo), m.And(ahi, bhi)
+	case opOr:
+		lo, hi = m.Or(alo, blo), m.Or(ahi, bhi)
+	case opXor:
+		lo, hi = m.Xor(alo, blo), m.Xor(ahi, bhi)
+	default:
+		panic("bdd: unknown binary op")
+	}
+	return m.mk(level, lo, hi)
+}
+
+// Implies returns the BDD of a => b.
+func (m *Manager) Implies(a, b Node) Node { return m.Or(m.Not(a), b) }
+
+// Equiv returns the BDD of a <=> b.
+func (m *Manager) Equiv(a, b Node) Node { return m.Not(m.Xor(a, b)) }
+
+// ITE returns if-then-else(f, g, h) = f·g + ¬f·h.
+func (m *Manager) ITE(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.Not(f)
+	}
+	k := iteKey{f, g, h}
+	if r, ok := m.ite[k]; ok {
+		return r
+	}
+	nf, ng, nh := m.nodes[f], m.nodes[g], m.nodes[h]
+	level := nf.level
+	if ng.level < level {
+		level = ng.level
+	}
+	if nh.level < level {
+		level = nh.level
+	}
+	flo, fhi := f, f
+	if nf.level == level {
+		flo, fhi = nf.lo, nf.hi
+	}
+	glo, ghi := g, g
+	if ng.level == level {
+		glo, ghi = ng.lo, ng.hi
+	}
+	hlo, hhi := h, h
+	if nh.level == level {
+		hlo, hhi = nh.lo, nh.hi
+	}
+	r := m.mk(level, m.ITE(flo, glo, hlo), m.ITE(fhi, ghi, hhi))
+	m.ite[k] = r
+	return r
+}
+
+// Restrict returns n with variable v fixed to val.
+func (m *Manager) Restrict(n Node, v int, val bool) Node {
+	if n <= True {
+		return n
+	}
+	nn := m.nodes[n]
+	if nn.level > int32(v) {
+		return n
+	}
+	op := opRestrictF
+	if val {
+		op = opRestrictT
+	}
+	k := unaryKey{op: op, a: n, arg: int32(v)}
+	if r, ok := m.unary[k]; ok {
+		return r
+	}
+	var r Node
+	if nn.level == int32(v) {
+		if val {
+			r = nn.hi
+		} else {
+			r = nn.lo
+		}
+	} else {
+		r = m.mk(nn.level, m.Restrict(nn.lo, v, val), m.Restrict(nn.hi, v, val))
+	}
+	m.unary[k] = r
+	return r
+}
+
+// Exists existentially quantifies variable v out of n.
+func (m *Manager) Exists(n Node, v int) Node {
+	if n <= True {
+		return n
+	}
+	nn := m.nodes[n]
+	if nn.level > int32(v) {
+		return n
+	}
+	k := unaryKey{op: opExists, a: n, arg: int32(v)}
+	if r, ok := m.unary[k]; ok {
+		return r
+	}
+	var r Node
+	if nn.level == int32(v) {
+		r = m.Or(nn.lo, nn.hi)
+	} else {
+		r = m.mk(nn.level, m.Exists(nn.lo, v), m.Exists(nn.hi, v))
+	}
+	m.unary[k] = r
+	return r
+}
+
+// ExistsMany existentially quantifies each listed variable out of n.
+func (m *Manager) ExistsMany(n Node, vars []int) Node {
+	for _, v := range vars {
+		n = m.Exists(n, v)
+	}
+	return n
+}
+
+// Eval evaluates n under a complete assignment (indexed by variable).
+func (m *Manager) Eval(n Node, assign []bool) bool {
+	for n > True {
+		nn := m.nodes[n]
+		if assign[nn.level] {
+			n = nn.hi
+		} else {
+			n = nn.lo
+		}
+	}
+	return n == True
+}
+
+// SatCount returns the number of satisfying assignments of n over all
+// NumVars variables, as a float64 (exact for counts below 2^53).
+func (m *Manager) SatCount(n Node) float64 {
+	return m.satCountRec(n) * pow2(int(m.nodes[n].level))
+}
+
+func (m *Manager) satCountRec(n Node) float64 {
+	if n == False {
+		return 0
+	}
+	if n == True {
+		return 1
+	}
+	if c, ok := m.satmemo[n]; ok {
+		return c
+	}
+	nn := m.nodes[n]
+	lo := m.satCountRec(nn.lo) * pow2(int(m.nodes[nn.lo].level-nn.level-1))
+	hi := m.satCountRec(nn.hi) * pow2(int(m.nodes[nn.hi].level-nn.level-1))
+	c := lo + hi
+	m.satmemo[n] = c
+	return c
+}
+
+func pow2(k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r *= 2
+	}
+	return r
+}
+
+// AnySat returns one satisfying assignment of n (indexed by variable), or
+// false if n is unsatisfiable. Variables not on the chosen path are false.
+func (m *Manager) AnySat(n Node) ([]bool, bool) {
+	if n == False {
+		return nil, false
+	}
+	assign := make([]bool, m.nvars)
+	for n > True {
+		nn := m.nodes[n]
+		if nn.hi != False {
+			assign[nn.level] = true
+			n = nn.hi
+		} else {
+			n = nn.lo
+		}
+	}
+	return assign, true
+}
+
+// Support returns the sorted set of variables n depends on.
+func (m *Manager) Support(n Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int]bool)
+	var walk func(Node)
+	walk = func(x Node) {
+		if x <= True || seen[x] {
+			return
+		}
+		seen[x] = true
+		vars[int(m.nodes[x].level)] = true
+		walk(m.nodes[x].lo)
+		walk(m.nodes[x].hi)
+	}
+	walk(n)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// NodeCount returns the number of distinct internal nodes reachable from n.
+func (m *Manager) NodeCount(n Node) int {
+	if n <= True {
+		return 0
+	}
+	seen := make(map[Node]bool)
+	var walk func(Node)
+	walk = func(x Node) {
+		if x <= True || seen[x] {
+			return
+		}
+		seen[x] = true
+		walk(m.nodes[x].lo)
+		walk(m.nodes[x].hi)
+	}
+	walk(n)
+	return len(seen)
+}

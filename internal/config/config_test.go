@@ -1,0 +1,220 @@
+package config
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"bonsai/internal/policy"
+	"bonsai/internal/protocols"
+)
+
+const sampleText = `
+network demo
+
+router r1
+  bgp as 65001 redistribute static
+  neighbor r2 import IMP export EXP
+  static 10.9.0.0/24 via r2
+  originate 10.1.0.0/24
+  prefix-list PL permit 10.0.0.0/8 ge 8 le 32
+  community-list CL 65001:1 65001:2
+  route-map IMP 10 permit
+    match community CL
+    set local-preference 350
+    set community add 65001:3
+  route-map IMP 20 permit
+  route-map EXP 10 permit
+  acl A deny 10.9.0.0/24
+  acl A permit 0.0.0.0/0 le 32
+  iface-acl r2 A
+
+router r2
+  bgp as 65002
+  neighbor r1 export EXP2
+  ospf iface r3 cost 5 area 1
+  route-map EXP2 10 permit
+    match prefix NET
+  prefix-list NET permit 10.1.0.0/16 ge 16 le 24
+
+router r3
+  originate 10.2.0.0/24
+
+link r1 r2
+link r2 r3 x4
+`
+
+func parseSample(t *testing.T) *Network {
+	t.Helper()
+	n, err := ParseString(sampleText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestParseBasics(t *testing.T) {
+	n := parseSample(t)
+	if n.Name != "demo" || len(n.Routers) != 3 || len(n.Links) != 2 {
+		t.Fatalf("parsed shape wrong: %s %d %d", n.Name, len(n.Routers), len(n.Links))
+	}
+	r1 := n.Routers["r1"]
+	if r1.BGP == nil || r1.BGP.ASN != 65001 || !r1.BGP.RedistributeStatic || r1.BGP.RedistributeOSPF {
+		t.Fatalf("r1 bgp wrong: %+v", r1.BGP)
+	}
+	nb := r1.BGP.Neighbors["r2"]
+	if nb == nil || nb.ImportMap != "IMP" || nb.ExportMap != "EXP" {
+		t.Fatalf("neighbor wrong: %+v", nb)
+	}
+	if len(r1.Statics) != 1 || r1.Statics[0].NextHop != "r2" {
+		t.Fatalf("statics wrong: %+v", r1.Statics)
+	}
+	rm := r1.Env.RouteMaps["IMP"]
+	if rm == nil || len(rm.Clauses) != 2 {
+		t.Fatalf("route map wrong: %+v", rm)
+	}
+	cl := rm.Clauses[0]
+	if len(cl.Matches) != 1 || cl.Matches[0].Kind != policy.MatchCommunity {
+		t.Fatalf("clause matches wrong: %+v", cl)
+	}
+	if len(cl.Sets) != 2 || cl.Sets[0].Value != 350 {
+		t.Fatalf("clause sets wrong: %+v", cl)
+	}
+	r2 := n.Routers["r2"]
+	if r2.OSPF == nil || r2.OSPF.Ifaces["r3"] != (OSPFIface{Cost: 5, Area: 1}) {
+		t.Fatalf("ospf wrong: %+v", r2.OSPF)
+	}
+	if n.Links[1].count() != 4 {
+		t.Fatalf("link multiplicity wrong: %+v", n.Links[1])
+	}
+	if n.NumInterfaces() != 2+8 {
+		t.Fatalf("NumInterfaces = %d", n.NumInterfaces())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	n := parseSample(t)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Network)
+	}{
+		{"bgp neighbor without link", func(n *Network) {
+			n.Routers["r1"].BGP.Neighbors["r3"] = &Neighbor{}
+		}},
+		{"unknown route map", func(n *Network) {
+			n.Routers["r1"].BGP.Neighbors["r2"].ImportMap = "NOPE"
+		}},
+		{"static via non-neighbor", func(n *Network) {
+			r := n.Routers["r1"]
+			r.Statics = append(r.Statics, StaticRoute{Prefix: netip.MustParsePrefix("1.0.0.0/8"), NextHop: "r3"})
+		}},
+		{"unknown ACL", func(n *Network) {
+			n.Routers["r1"].IfaceACL["r2"] = "MISSING"
+		}},
+		{"unknown community list", func(n *Network) {
+			rm := n.Routers["r1"].Env.RouteMaps["IMP"]
+			rm.Clauses[0].Matches[0].Arg = "GONE"
+		}},
+	}
+	for _, tc := range cases {
+		n := parseSample(t)
+		tc.mutate(n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: validation passed, want error", tc.name)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n := parseSample(t)
+	text := PrintString(n)
+	n2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	text2 := PrintString(n2)
+	if text != text2 {
+		t.Fatalf("round-trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+	if err := n2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bgp as 65001",                                     // outside router
+		"router r1\n  neighbor r2",                         // neighbor without bgp
+		"router r1\n  static 10.0.0.0/24",                  // missing via
+		"router r1\n  route-map M permit",                  // missing seq
+		"router r1\n  community-list L 65001",              // bad community
+		"router r1\n  route-map M 10 permit\n  set oops 1", // unknown set
+		"frobnicate", // unknown directive
+		"link a",     // short link
+	}
+	for _, s := range bad {
+		if _, err := ParseString(s); err == nil {
+			t.Errorf("parse accepted %q", s)
+		}
+	}
+}
+
+func TestCommunityUniverses(t *testing.T) {
+	n := parseSample(t)
+	matched := n.MatchedCommunities()
+	// Only CL's communities are matched: 65001:1, 65001:2.
+	if len(matched) != 2 {
+		t.Fatalf("matched = %v", matched)
+	}
+	all := n.AllCommunities()
+	// Adds the set-only 65001:3.
+	if len(all) != 3 {
+		t.Fatalf("all = %v", all)
+	}
+	want := protocols.MakeCommunity(65001, 3)
+	found := false
+	for _, c := range all {
+		if c == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("set-only community missing from AllCommunities")
+	}
+}
+
+func TestOriginatedPrefixes(t *testing.T) {
+	n := parseSample(t)
+	op := n.OriginatedPrefixes()
+	if len(op) != 2 {
+		t.Fatalf("originated = %v", op)
+	}
+	if got := op[netip.MustParsePrefix("10.1.0.0/24")]; len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("10.1.0.0/24 origins = %v", got)
+	}
+}
+
+func TestAddLinkIdempotent(t *testing.T) {
+	n := New("t")
+	n.AddRouter("a")
+	n.AddRouter("b")
+	n.AddLink("a", "b")
+	n.AddLink("b", "a")
+	if len(n.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(n.Links))
+	}
+}
+
+func TestPrintOmitsEmptyNetworkName(t *testing.T) {
+	n := New("")
+	n.AddRouter("a")
+	if strings.Contains(PrintString(n), "network") {
+		t.Fatal("empty name should not print a network line")
+	}
+}

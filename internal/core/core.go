@@ -1,0 +1,484 @@
+// Package core implements Bonsai's compression algorithm (paper §5,
+// Algorithm 1): abstraction refinement over a union-split-find partition of
+// the concrete nodes, using canonical BDD edge policies so that
+// transfer-function equivalence is a constant-time comparison. Starting from
+// the coarsest partition ({d}, V∖{d}), abstract nodes are repeatedly split
+// until every group is uniform in its policies toward neighboring groups;
+// groups whose routers can assign k > 1 distinct BGP local-preference values
+// are then split into k copies (Theorem 4.4's bound), yielding a
+// BGP-effective abstraction.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"bonsai/internal/bdd"
+	"bonsai/internal/topo"
+	"bonsai/internal/usf"
+)
+
+// EdgeKey is the canonical signature of one directed SRP edge (u, v) for a
+// fixed destination class: the composed BGP policy relation (export at v
+// then import at u) as a hash-consed BDD node, plus the scalar parts of the
+// transfer function (OSPF cost and area crossing, static route presence)
+// and the dataplane ACL verdict, which Bonsai folds into the signature so
+// that fwd-equivalence survives compression (paper §6). Two edges have
+// equivalent transfer functions iff their EdgeKeys are equal.
+type EdgeKey struct {
+	BGP       bool     // live BGP session (present and not constant-drop)
+	BGPRel    bdd.Node // canonical policy relation; False when !BGP
+	IBGP      bool     // session is internal BGP (§6)
+	OSPF      bool
+	OSPFCost  int
+	OSPFCross bool
+	Static    bool
+	ACLPermit bool
+}
+
+// Dead reports that no protocol can carry the destination across the edge;
+// dead edges are ignored by refinement and omitted from the abstract graph.
+func (k EdgeKey) Dead() bool { return !k.BGP && !k.OSPF && !k.Static }
+
+// token renders the key for use inside refinement signatures.
+func (k EdgeKey) token() string {
+	b := make([]byte, 0, 32)
+	b = appendBool(b, k.BGP)
+	b = appendBool(b, k.IBGP)
+	b = strconv.AppendInt(b, int64(k.BGPRel), 10)
+	b = append(b, ',')
+	b = appendBool(b, k.OSPF)
+	b = strconv.AppendInt(b, int64(k.OSPFCost), 10)
+	b = appendBool(b, k.OSPFCross)
+	b = append(b, ',')
+	b = appendBool(b, k.Static)
+	b = appendBool(b, k.ACLPermit)
+	return string(b)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}
+
+// Mode selects the abstraction conditions targeted by refinement.
+type Mode int
+
+// Modes.
+const (
+	// ModeEffective computes a ∀∃-abstraction with transfer-equivalence,
+	// sufficient for protocols without loop prevention (RIP, OSPF, static).
+	ModeEffective Mode = iota
+	// ModeBGP computes a BGP-effective abstraction: groups with multiple
+	// possible local-preference values are refined against concrete
+	// neighbors (∀∀) and split into |prefs| copies (paper §4.3).
+	ModeBGP
+)
+
+// Options configures FindAbstraction.
+type Options struct {
+	Mode Mode
+	// EdgeKey returns the canonical signature of directed edge (u, v).
+	EdgeKey func(u, v topo.NodeID) EdgeKey
+	// Prefs returns |prefs(u)|: the number of distinct BGP local-preference
+	// values node u can assign for this destination (≥ 1). nil means 1.
+	Prefs func(u topo.NodeID) int
+}
+
+// Abstraction is the result of compression: the node partition, the
+// topology function f, and the abstract graph with BGP case splitting
+// applied.
+type Abstraction struct {
+	G    *topo.Graph
+	Dest topo.NodeID
+
+	Groups [][]topo.NodeID // group index -> sorted members
+	F      []int           // concrete node -> group index
+
+	AbsG    *topo.Graph
+	AbsDest topo.NodeID
+	// Copies[g] lists the abstract node IDs for group g (one per BGP split
+	// case; a single entry for unsplit groups).
+	Copies [][]topo.NodeID
+	// RepEdge maps each abstract directed edge to a representative concrete
+	// edge; by transfer-equivalence any representative defines the abstract
+	// transfer function.
+	RepEdge map[topo.Edge]topo.Edge
+
+	// Iterations counts refinement sweeps until fixpoint.
+	Iterations int
+}
+
+// FAbs returns the topology function f as concrete node -> primary abstract
+// node (the first copy of its group).
+func (a *Abstraction) FAbs(u topo.NodeID) topo.NodeID { return a.Copies[a.F[u]][0] }
+
+// NumAbstractNodes returns the abstract node count including split copies.
+func (a *Abstraction) NumAbstractNodes() int { return a.AbsG.NumNodes() }
+
+// NumAbstractEdges returns the abstract undirected link count.
+func (a *Abstraction) NumAbstractEdges() int { return a.AbsG.NumLinks() }
+
+// FindAbstraction runs Algorithm 1 and returns the resulting abstraction.
+func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction {
+	if opt.EdgeKey == nil {
+		panic("core: Options.EdgeKey is required")
+	}
+	prefs := opt.Prefs
+	if prefs == nil {
+		prefs = func(topo.NodeID) int { return 1 }
+	}
+
+	n := g.NumNodes()
+	p := usf.New(n)
+	p.Split([]int{int(dest)})
+
+	// Edge keys are destination-specific but fixed across refinement
+	// sweeps: compute them (and their string tokens) once up front.
+	keyCache := make(map[topo.Edge]EdgeKey, g.NumEdges())
+	edgeKey := func(u, v topo.NodeID) EdgeKey {
+		e := topo.Edge{U: u, V: v}
+		if k, ok := keyCache[e]; ok {
+			return k
+		}
+		k := opt.EdgeKey(u, v)
+		keyCache[e] = k
+		return k
+	}
+	adj := buildAdjacency(g, edgeKey)
+
+	groupPrefs := func(members []int) int {
+		numPrefs := 1
+		for _, x := range members {
+			if k := prefs(topo.NodeID(x)); k > numPrefs {
+				numPrefs = k
+			}
+		}
+		return numPrefs
+	}
+
+	iterations := 0
+	for {
+		// Phase 1 (∀∃): refine every group against abstract neighbor
+		// groups and edge policies until nothing splits. Applying the
+		// stronger ∀∀ keys before this fixpoint would shatter symmetric
+		// nodes that are still mixed with dissimilar ones (Algorithm 1
+		// reaches the same state by re-running Refine to fixpoint).
+		for changed := true; changed; {
+			iterations++
+			changed = false
+			for _, id := range append([]int(nil), p.Groups()...) {
+				if len(p.Members(id)) <= 1 {
+					continue
+				}
+				if p.Refine(id, func(x int) string {
+					return adj.signature(topo.NodeID(x), p, false)
+				}) {
+					changed = true
+				}
+			}
+		}
+		before := p.NumGroups()
+		// Phase 2a (∀∀, Algorithm 1 line 19): groups that may use several
+		// local preferences must be uniformly adjacent to their neighbor
+		// groups (modulo self), since their split copies will interconnect.
+		if opt.Mode == ModeBGP {
+			for _, id := range append([]int(nil), p.Groups()...) {
+				members := p.Members(id)
+				if len(members) <= 1 || groupPrefs(members) <= 1 {
+					continue
+				}
+				p.Refine(id, func(x int) string {
+					return adj.signature(topo.NodeID(x), p, true)
+				})
+			}
+		}
+		// Phase 2b (self-loop freedom): an abstract SRP may not contain
+		// self loops (§3.1), so a group joined by live internal edges is
+		// only valid when BGP case splitting will expand it into
+		// interconnected copies. Otherwise divide it so that no two
+		// adjacent concrete nodes share an abstract node; greedy coloring
+		// keeps the division small.
+		for _, id := range append([]int(nil), p.Groups()...) {
+			members := p.Members(id)
+			if len(members) <= 1 {
+				continue
+			}
+			if opt.Mode == ModeBGP && groupPrefs(members) > 1 {
+				continue // copies of a split group may interconnect
+			}
+			colorSplit(p, members, adj)
+		}
+		if p.NumGroups() == before {
+			break
+		}
+	}
+
+	groups, idx := p.Snapshot()
+	abs := &Abstraction{
+		G:          g,
+		Dest:       dest,
+		F:          idx,
+		Iterations: iterations,
+		RepEdge:    make(map[topo.Edge]topo.Edge),
+	}
+	abs.Groups = make([][]topo.NodeID, len(groups))
+	for i, ms := range groups {
+		nodes := make([]topo.NodeID, len(ms))
+		for j, x := range ms {
+			nodes[j] = topo.NodeID(x)
+		}
+		abs.Groups[i] = nodes
+	}
+
+	// BGP case splitting (paper §4.3, Theorem 4.4): each abstract node is
+	// duplicated once per possible local-preference value its members can
+	// use. The destination is never split.
+	splits := make([]int, len(abs.Groups))
+	for i, ms := range abs.Groups {
+		splits[i] = 1
+		if opt.Mode == ModeBGP && abs.F[dest] != i {
+			for _, u := range ms {
+				if k := prefs(u); k > splits[i] {
+					splits[i] = k
+				}
+			}
+			// A solution assigns each concrete node one behavior, so a
+			// group never needs more copies than members (and the refined
+			// mapping f_r of Theorem 4.5 must be onto the copies).
+			if splits[i] > len(ms) {
+				splits[i] = len(ms)
+			}
+		}
+	}
+
+	absG := topo.New()
+	abs.Copies = make([][]topo.NodeID, len(abs.Groups))
+	for i, ms := range abs.Groups {
+		rep := g.Name(ms[0])
+		for c := 0; c < splits[i]; c++ {
+			name := "~" + rep
+			if splits[i] > 1 {
+				name = fmt.Sprintf("~%s#%d", rep, c)
+			}
+			abs.Copies[i] = append(abs.Copies[i], absG.AddNode(name))
+		}
+	}
+	abs.AbsDest = abs.Copies[abs.F[dest]][0]
+
+	// Abstract edges: one per pair of groups joined by a live concrete
+	// edge, expanded across split copies (copies of the same group connect
+	// to each other but never to themselves: SRPs are self-loop-free).
+	type groupEdge struct{ a, b int }
+	repFor := make(map[groupEdge]topo.Edge)
+	for _, e := range g.Edges() {
+		if edgeKey(e.U, e.V).Dead() {
+			continue
+		}
+		ge := groupEdge{abs.F[e.U], abs.F[e.V]}
+		if _, ok := repFor[ge]; !ok {
+			repFor[ge] = e
+		}
+	}
+	ges := make([]groupEdge, 0, len(repFor))
+	for ge := range repFor {
+		ges = append(ges, ge)
+	}
+	sort.Slice(ges, func(i, j int) bool {
+		if ges[i].a != ges[j].a {
+			return ges[i].a < ges[j].a
+		}
+		return ges[i].b < ges[j].b
+	})
+	for _, ge := range ges {
+		rep := repFor[ge]
+		for _, ca := range abs.Copies[ge.a] {
+			for _, cb := range abs.Copies[ge.b] {
+				if ca == cb {
+					continue
+				}
+				absG.AddEdge(ca, cb)
+				if _, ok := abs.RepEdge[topo.Edge{U: ca, V: cb}]; !ok {
+					abs.RepEdge[topo.Edge{U: ca, V: cb}] = rep
+				}
+			}
+		}
+	}
+	abs.AbsG = absG
+	return abs
+}
+
+// liveEdge is a precomputed neighbor entry: the neighbor node and the edge's
+// policy token.
+type liveEdge struct {
+	nbr topo.NodeID
+	tok string
+}
+
+// adjacency holds, per node, the live out- and in-edges with their policy
+// tokens, computed once per destination class.
+type adjacency struct {
+	out  [][]liveEdge
+	in   [][]liveEdge
+	live map[topo.Edge]bool
+}
+
+func buildAdjacency(g *topo.Graph, edgeKey func(u, v topo.NodeID) EdgeKey) *adjacency {
+	n := g.NumNodes()
+	a := &adjacency{
+		out:  make([][]liveEdge, n),
+		in:   make([][]liveEdge, n),
+		live: make(map[topo.Edge]bool, g.NumEdges()),
+	}
+	for _, u := range g.Nodes() {
+		for _, v := range g.Succ(u) {
+			k := edgeKey(u, v)
+			if k.Dead() {
+				continue
+			}
+			tok := k.token()
+			a.out[u] = append(a.out[u], liveEdge{v, tok})
+			a.in[v] = append(a.in[v], liveEdge{u, tok})
+			a.live[topo.Edge{U: u, V: v}] = true
+		}
+	}
+	return a
+}
+
+// colorSplit divides a group so that no two live-adjacent members remain
+// together, using first-fit coloring in member order (deterministic). It
+// reports whether the group was split.
+func colorSplit(p *usf.Partition, members []int, adj *adjacency) bool {
+	adjacent := func(u, v int) bool {
+		return adj.live[topo.Edge{U: topo.NodeID(u), V: topo.NodeID(v)}] ||
+			adj.live[topo.Edge{U: topo.NodeID(v), V: topo.NodeID(u)}]
+	}
+	var colors [][]int
+	for _, u := range members {
+		placed := false
+		for ci := range colors {
+			ok := true
+			for _, v := range colors[ci] {
+				if adjacent(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[ci] = append(colors[ci], u)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			colors = append(colors, []int{u})
+		}
+	}
+	if len(colors) <= 1 {
+		return false
+	}
+	for _, c := range colors[1:] {
+		p.Split(c)
+	}
+	return true
+}
+
+// signature builds the refinement key of node u: the sorted set of
+// (edge policy, neighbor group) tokens over its live out- and in-edges.
+// Including in-edges guarantees that all concrete edges mapped to one
+// abstract edge share a single policy, which transfer-equivalence requires
+// of the edge as a whole.
+//
+// When the group under refinement may use several local preferences
+// (forallForall, Algorithm 1 line 19), out-edge tokens additionally record
+// whether u reaches *every* member of the neighbor group (the ∀∀ condition,
+// group-wise) — and, if not, exactly which members it reaches, so that nodes
+// with matching partial adjacency (e.g. fattree aggregation routers of the
+// same pod) can still share an abstract node.
+func (a *adjacency) signature(u topo.NodeID, p *usf.Partition, forallForall bool) string {
+	type polGroup struct {
+		tok   string
+		group int
+	}
+	toks := make([]string, 0, len(a.out[u])+len(a.in[u]))
+	if forallForall {
+		reach := make(map[polGroup][]int)
+		for _, le := range a.out[u] {
+			pg := polGroup{le.tok, p.Find(int(le.nbr))}
+			reach[pg] = append(reach[pg], int(le.nbr))
+		}
+		for pg, vs := range reach {
+			b := make([]byte, 0, 64)
+			b = append(b, 'o', '|')
+			b = append(b, pg.tok...)
+			b = append(b, '|', 'g')
+			b = strconv.AppendInt(b, int64(pg.group), 10)
+			// Record which members of the neighbor group u does NOT reach,
+			// always excluding u itself: nodes whose reach differs only by
+			// self-exclusion (the split copies of §4.3 never self-connect)
+			// must share a key, while partial adjacency (fattree pods)
+			// still separates correctly.
+			missing := missedMembers(p, pg.group, int(u), vs)
+			if len(missing) == 0 {
+				b = append(b, "|full"...)
+			} else {
+				b = append(b, "|miss"...)
+				for _, v := range missing {
+					b = strconv.AppendInt(b, int64(v), 10)
+					b = append(b, ',')
+				}
+			}
+			toks = append(toks, string(b))
+		}
+	} else {
+		for _, le := range a.out[u] {
+			b := make([]byte, 0, 48)
+			b = append(b, 'o', '|')
+			b = append(b, le.tok...)
+			b = append(b, '|', 'g')
+			b = strconv.AppendInt(b, int64(p.Find(int(le.nbr))), 10)
+			toks = append(toks, string(b))
+		}
+	}
+	for _, le := range a.in[u] {
+		b := make([]byte, 0, 48)
+		b = append(b, 'i', '|')
+		b = append(b, le.tok...)
+		b = append(b, '|', 'g')
+		b = strconv.AppendInt(b, int64(p.Find(int(le.nbr))), 10)
+		toks = append(toks, string(b))
+	}
+	sort.Strings(toks)
+	toks = dedupStrings(toks)
+	return strings.Join(toks, ";")
+}
+
+// missedMembers returns the members of group that u does not reach via vs,
+// excluding u itself, in sorted order.
+func missedMembers(p *usf.Partition, group, u int, vs []int) []int {
+	reached := make(map[int]bool, len(vs))
+	for _, v := range vs {
+		reached[v] = true
+	}
+	var missing []int
+	for _, m := range p.Members(group) {
+		if m != u && !reached[m] {
+			missing = append(missing, m)
+		}
+	}
+	return missing // Members() is sorted, so missing is too
+}
+
+func dedupStrings(s []string) []string {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

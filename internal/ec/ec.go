@@ -1,0 +1,53 @@
+// Package ec computes destination equivalence classes from a network
+// configuration (paper §5.1): because announcements for distinct destination
+// prefixes do not interact, the address space is partitioned — via a prefix
+// trie — into classes of addresses whose longest-match originated prefix is
+// the same, and Bonsai builds one abstraction per class rather than one per
+// address.
+package ec
+
+import (
+	"fmt"
+	"net/netip"
+
+	"bonsai/internal/config"
+	"bonsai/internal/trie"
+)
+
+// Class re-exports trie.Class: a representative prefix plus origin routers.
+type Class = trie.Class
+
+// Classes returns the destination equivalence classes of the network, one
+// per originated prefix that is the longest match for some address.
+func Classes(n *config.Network) []Class {
+	t := trie.New()
+	for p, origins := range n.OriginatedPrefixes() {
+		for _, o := range origins {
+			t.Insert(p, o)
+		}
+	}
+	return t.Classes()
+}
+
+// ClassFor returns the class owning the given prefix's address, for queries
+// that target a specific destination.
+func ClassFor(n *config.Network, prefix string) (Class, error) {
+	cls := Classes(n)
+	for _, c := range cls {
+		if c.Prefix.String() == prefix {
+			return c, nil
+		}
+	}
+	if p, err := netip.ParsePrefix(prefix); err == nil {
+		best, bestBits := Class{}, -1
+		for _, c := range cls {
+			if c.Prefix.Contains(p.Addr()) && c.Prefix.Bits() > bestBits {
+				best, bestBits = c, c.Prefix.Bits()
+			}
+		}
+		if bestBits >= 0 {
+			return best, nil
+		}
+	}
+	return Class{}, fmt.Errorf("ec: no destination class for %q", prefix)
+}

@@ -1,0 +1,68 @@
+package ec
+
+import (
+	"net/netip"
+	"testing"
+
+	"bonsai/internal/config"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func demoNet() *config.Network {
+	n := config.New("demo")
+	a := n.AddRouter("a")
+	b := n.AddRouter("b")
+	c := n.AddRouter("c")
+	n.AddLink("a", "b")
+	n.AddLink("b", "c")
+	a.Originate = []netip.Prefix{pfx("10.0.0.0/24"), pfx("10.0.1.0/24")}
+	b.Originate = []netip.Prefix{pfx("10.1.0.0/16")}
+	c.Originate = []netip.Prefix{pfx("0.0.0.0/0")}
+	return n
+}
+
+func TestClasses(t *testing.T) {
+	cls := Classes(demoNet())
+	if len(cls) != 4 {
+		t.Fatalf("classes = %d, want 4: %+v", len(cls), cls)
+	}
+	// Sorted by prefix: default route first.
+	if cls[0].Prefix != pfx("0.0.0.0/0") || cls[0].Origins[0] != "c" {
+		t.Fatalf("first class = %+v", cls[0])
+	}
+	if cls[1].Prefix != pfx("10.0.0.0/24") || cls[1].Origins[0] != "a" {
+		t.Fatalf("second class = %+v", cls[1])
+	}
+}
+
+func TestClassForExactAndCovering(t *testing.T) {
+	n := demoNet()
+	cls, err := ClassFor(n, "10.1.0.0/16")
+	if err != nil || cls.Origins[0] != "b" {
+		t.Fatalf("exact lookup: %+v %v", cls, err)
+	}
+	// An address inside a's /24 resolves to a's class.
+	cls, err = ClassFor(n, "10.0.0.128/32")
+	if err != nil || cls.Origins[0] != "a" {
+		t.Fatalf("covering lookup: %+v %v", cls, err)
+	}
+	if _, err := ClassFor(n, "not-a-prefix"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestAnycastOrigins(t *testing.T) {
+	n := demoNet()
+	n.Routers["c"].Originate = append(n.Routers["c"].Originate, pfx("10.0.0.0/24"))
+	cls := Classes(n)
+	for _, c := range cls {
+		if c.Prefix == pfx("10.0.0.0/24") {
+			if len(c.Origins) != 2 {
+				t.Fatalf("anycast origins = %v", c.Origins)
+			}
+			return
+		}
+	}
+	t.Fatal("class missing")
+}

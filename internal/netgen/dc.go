@@ -1,0 +1,173 @@
+package netgen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"bonsai/internal/config"
+	"bonsai/internal/policy"
+)
+
+// DCOptions sizes the datacenter stand-in. The defaults are calibrated to
+// the published statistics of the paper's operational datacenter (Table 1b):
+// 197 routers organised as multiple Clos-like clusters, ~1.3k destination
+// equivalence classes, eBGP with private AS numbers, extensive use of
+// communities (many set but never matched), static routes, ACLs, and a
+// large number of virtual interfaces per physical link.
+type DCOptions struct {
+	Clusters        int // Clos-like clusters (default 9)
+	SpinesPerClus   int // spine routers per cluster (default 4)
+	LeavesPerClus   int // leaf routers per cluster (default 16)
+	Cores           int // core routers joining clusters (default 16)
+	Borders         int // border routers (default 1)
+	PrefixesPerLeaf int // originated prefixes per leaf (default 9)
+	VirtualIfaces   int // VLAN subinterfaces per physical link (default 6)
+	StaticPatterns  int // distinct leaf static-route patterns (default 18)
+	TagGroups       int // distinct unused-tag variants (default 88)
+}
+
+func (o *DCOptions) defaults() {
+	if o.Clusters == 0 {
+		o.Clusters = 9
+	}
+	if o.SpinesPerClus == 0 {
+		o.SpinesPerClus = 4
+	}
+	if o.LeavesPerClus == 0 {
+		o.LeavesPerClus = 16
+	}
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.Borders == 0 {
+		o.Borders = 1
+	}
+	if o.PrefixesPerLeaf == 0 {
+		o.PrefixesPerLeaf = 9
+	}
+	if o.VirtualIfaces == 0 {
+		o.VirtualIfaces = 6
+	}
+	if o.StaticPatterns == 0 {
+		o.StaticPatterns = 18
+	}
+	if o.TagGroups == 0 {
+		o.TagGroups = 88
+	}
+}
+
+// Datacenter generates the operational-datacenter stand-in.
+func Datacenter(opts DCOptions) *config.Network {
+	opts.defaults()
+	n := config.New("datacenter")
+	var alloc prefixAlloc
+	asn := 64512
+
+	nextASN := func() int {
+		asn++
+		return asn
+	}
+
+	cores := make([]string, opts.Cores)
+	for i := range cores {
+		cores[i] = fmt.Sprintf("core-%02d", i)
+		n.AddRouter(cores[i]).EnsureBGP(nextASN())
+	}
+	borders := make([]string, opts.Borders)
+	for i := range borders {
+		borders[i] = fmt.Sprintf("border-%02d", i)
+		r := n.AddRouter(borders[i])
+		r.EnsureBGP(nextASN())
+		r.Originate = append(r.Originate, netip.MustParsePrefix("0.0.0.0/0"))
+		for _, c := range cores {
+			n.AddLinkN(borders[i], c, opts.VirtualIfaces)
+			peer(n, borders[i], c)
+		}
+		// Border ACL: block a management prefix from leaving.
+		r.Env.ACLs["MGMT"] = &policy.ACL{Name: "MGMT", Entries: []policy.PrefixEntry{
+			{Action: policy.Deny, Prefix: netip.MustParsePrefix("10.255.0.0/16"), Ge: 16, Le: 32},
+			{Action: policy.Permit, Prefix: netip.MustParsePrefix("0.0.0.0/0"), Ge: 0, Le: 32},
+		}}
+		for _, c := range cores {
+			r.IfaceACL[c] = "MGMT"
+		}
+	}
+
+	leafGlobal := 0
+	allLeafPrefixes := make(map[int][]netip.Prefix) // cluster -> prefixes
+	for cl := 0; cl < opts.Clusters; cl++ {
+		spines := make([]string, opts.SpinesPerClus)
+		for s := range spines {
+			spines[s] = fmt.Sprintf("spine-%d-%d", cl, s)
+			r := n.AddRouter(spines[s])
+			r.EnsureBGP(nextASN())
+			for _, c := range cores {
+				n.AddLinkN(spines[s], c, opts.VirtualIfaces)
+				peer(n, spines[s], c)
+			}
+			// Spines attach an unused community to exported routes; the
+			// tag varies per cluster and is never matched anywhere,
+			// producing the paper's inflated pre-erasure role count.
+			tagMap := fmt.Sprintf("TAG-%d", cl%opts.TagGroups)
+			r.Env.RouteMaps[tagMap] = &policy.RouteMap{Name: tagMap, Clauses: []policy.Clause{
+				{Seq: 10, Action: policy.Permit, Sets: []policy.Set{
+					{Kind: policy.AddCommunity, Comm: unusedTag(cl % opts.TagGroups)},
+				}},
+			}}
+			for _, nb := range r.BGP.Neighbors {
+				nb.ExportMap = tagMap
+			}
+		}
+		for lf := 0; lf < opts.LeavesPerClus; lf++ {
+			name := fmt.Sprintf("leaf-%d-%02d", cl, lf)
+			r := n.AddRouter(name)
+			r.EnsureBGP(nextASN())
+			for _, p := range spines {
+				n.AddLinkN(name, p, opts.VirtualIfaces)
+				peer(n, name, p)
+			}
+			for k := 0; k < opts.PrefixesPerLeaf; k++ {
+				p := alloc.alloc()
+				r.Originate = append(r.Originate, p)
+				allLeafPrefixes[cl] = append(allLeafPrefixes[cl], p)
+			}
+			// Unused-tag noise on leaf exports too, varying faster than
+			// the cluster so the pre-erasure role count grows further.
+			tagMap := fmt.Sprintf("LTAG-%d", leafGlobal%opts.TagGroups)
+			r.Env.RouteMaps[tagMap] = &policy.RouteMap{Name: tagMap, Clauses: []policy.Clause{
+				{Seq: 10, Action: policy.Permit, Sets: []policy.Set{
+					{Kind: policy.AddCommunity, Comm: unusedTag(leafGlobal % opts.TagGroups)},
+				}},
+			}}
+			for _, nb := range r.BGP.Neighbors {
+				nb.ExportMap = tagMap
+			}
+			leafGlobal++
+		}
+	}
+
+	// Static-route noise: every fifth leaf pins its first originated prefix
+	// of a *peer cluster* through one specific spine, in one of
+	// StaticPatterns patterns. This is the dominant source of role
+	// diversity after tag erasure (paper: 26 roles with statics, 8
+	// without).
+	leafGlobal = 0
+	for cl := 0; cl < opts.Clusters; cl++ {
+		for lf := 0; lf < opts.LeavesPerClus; lf++ {
+			name := fmt.Sprintf("leaf-%d-%02d", cl, lf)
+			if leafGlobal%5 == 0 {
+				pattern := leafGlobal % opts.StaticPatterns
+				other := (cl + 1 + pattern%opts.Clusters) % opts.Clusters
+				if other != cl && len(allLeafPrefixes[other]) > pattern {
+					spine := fmt.Sprintf("spine-%d-%d", cl, pattern%opts.SpinesPerClus)
+					n.Routers[name].Statics = append(n.Routers[name].Statics, config.StaticRoute{
+						Prefix:  allLeafPrefixes[other][pattern],
+						NextHop: spine,
+					})
+				}
+			}
+			leafGlobal++
+		}
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+// Package netgen generates the evaluation networks of paper §8: the
+// synthetic Fattree / Ring / Full-mesh topologies running eBGP shortest-path
+// routing with destination-based prefix filters (Table 1a, Figures 11-12),
+// and configurable stand-ins for the two operational networks (Table 1b):
+// a multi-cluster Clos datacenter with private-AS eBGP, static-route noise,
+// unused community tags and ACLs; and a WAN mixing eBGP, OSPF and static
+// routing. The operational networks themselves are proprietary; DESIGN.md
+// documents how these substitutes preserve the behaviors that matter.
+package netgen
+
+import (
+	"fmt"
+	"net/netip"
+
+	"bonsai/internal/config"
+	"bonsai/internal/policy"
+	"bonsai/internal/protocols"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// prefixAlloc hands out distinct /24s under 10.0.0.0/8.
+type prefixAlloc struct{ next int }
+
+func (a *prefixAlloc) alloc() netip.Prefix {
+	if a.next >= 256*256 {
+		panic("netgen: prefix space exhausted")
+	}
+	p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(a.next / 256), byte(a.next % 256), 0}), 24)
+	a.next++
+	return p
+}
+
+// peer establishes a bidirectional all-permit eBGP session over a link.
+func peer(n *config.Network, a, b string) {
+	n.Routers[a].BGP.Neighbors[b] = &config.Neighbor{}
+	n.Routers[b].BGP.Neighbors[a] = &config.Neighbor{}
+}
+
+// originateOnlyOwn installs the paper's destination-based prefix filter on a
+// router: its export policy toward every peer permits only its own
+// originated prefixes, so it never provides transit.
+func originateOnlyOwn(r *config.Router) {
+	pl := &policy.PrefixList{Name: "OWN"}
+	for _, p := range r.Originate {
+		pl.Entries = append(pl.Entries, policy.PrefixEntry{Action: policy.Permit, Prefix: p})
+	}
+	r.Env.PrefixLists["OWN"] = pl
+	r.Env.RouteMaps["EXPORT-OWN"] = &policy.RouteMap{Name: "EXPORT-OWN", Clauses: []policy.Clause{
+		{Seq: 10, Action: policy.Permit, Matches: []policy.Match{{Kind: policy.MatchPrefix, Arg: "OWN"}}},
+	}}
+	for _, nb := range r.BGP.Neighbors {
+		nb.ExportMap = "EXPORT-OWN"
+	}
+}
+
+// FattreePolicy selects the routing policy of Figure 11.
+type FattreePolicy int
+
+// Policies.
+const (
+	// PolicyShortestPath routes on AS-path length only.
+	PolicyShortestPath FattreePolicy = iota
+	// PolicyPreferBottom makes aggregation routers prefer routes learned
+	// from the edge (bottom) tier via a higher local preference, enlarging
+	// the abstraction (Figure 11, right).
+	PolicyPreferBottom
+)
+
+// Fattree builds a k-ary fat-tree (k pods, (k/2)² cores, k²/2 aggregation
+// and k²/2 edge routers — 5k²/4 nodes total; k=12, 20, 30 give the paper's
+// 180, 500 and 1125 nodes). Every router runs its own BGP AS; each edge
+// router originates one /24, so there are k²/2 destination equivalence
+// classes, matching Table 1a.
+func Fattree(k int, pol FattreePolicy) *config.Network {
+	if k < 2 || k%2 != 0 {
+		panic("netgen: fat-tree arity must be even and >= 2")
+	}
+	n := config.New(fmt.Sprintf("fattree-%d", k))
+	var alloc prefixAlloc
+	asn := 64512
+	nextASN := func() int { asn++; return asn }
+
+	half := k / 2
+	cores := make([]string, half*half)
+	for i := range cores {
+		cores[i] = fmt.Sprintf("core-%d", i)
+		n.AddRouter(cores[i]).EnsureBGP(nextASN())
+	}
+	for p := 0; p < k; p++ {
+		for a := 0; a < half; a++ {
+			name := fmt.Sprintf("agg-%d-%d", p, a)
+			n.AddRouter(name).EnsureBGP(nextASN())
+			// Aggregation router a of each pod connects to cores
+			// [a*half, (a+1)*half).
+			for c := a * half; c < (a+1)*half; c++ {
+				n.AddLink(name, cores[c])
+				peer(n, name, cores[c])
+			}
+		}
+		for e := 0; e < half; e++ {
+			name := fmt.Sprintf("edge-%d-%d", p, e)
+			r := n.AddRouter(name)
+			r.EnsureBGP(nextASN())
+			r.Originate = append(r.Originate, alloc.alloc())
+			for a := 0; a < half; a++ {
+				agg := fmt.Sprintf("agg-%d-%d", p, a)
+				n.AddLink(name, agg)
+				peer(n, name, agg)
+			}
+		}
+	}
+	// Destination-based prefix filters at the edge: edge routers never
+	// provide transit between their aggregation uplinks.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			originateOnlyOwn(n.Routers[fmt.Sprintf("edge-%d-%d", p, e)])
+		}
+	}
+	if pol == PolicyPreferBottom {
+		for p := 0; p < k; p++ {
+			for a := 0; a < half; a++ {
+				agg := n.Routers[fmt.Sprintf("agg-%d-%d", p, a)]
+				agg.Env.RouteMaps["PREF-DOWN"] = &policy.RouteMap{Name: "PREF-DOWN", Clauses: []policy.Clause{
+					{Seq: 10, Action: policy.Permit, Sets: []policy.Set{{Kind: policy.SetLocalPref, Value: 200}}},
+				}}
+				for peerName, nb := range agg.BGP.Neighbors {
+					if len(peerName) >= 4 && peerName[:4] == "edge" {
+						nb.ImportMap = "PREF-DOWN"
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Ring builds a cycle of n eBGP routers, each originating one /24
+// (Table 1a, Ring: n destination classes; compression is bounded by the
+// diameter because path length must be preserved).
+func Ring(n int) *config.Network {
+	if n < 3 {
+		panic("netgen: ring needs at least 3 nodes")
+	}
+	net := config.New(fmt.Sprintf("ring-%d", n))
+	var alloc prefixAlloc
+	asn := 64512
+	nextASN := func() int { asn++; return asn }
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("r-%04d", i)
+		r := net.AddRouter(names[i])
+		r.EnsureBGP(nextASN())
+		r.Originate = append(r.Originate, alloc.alloc())
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		net.AddLink(names[i], names[j])
+		peer(net, names[i], names[j])
+	}
+	return net
+}
+
+// FullMesh builds a clique of n eBGP routers, each originating one /24 and
+// exporting only its own prefix (the destination-based filter), so every
+// destination class collapses to two abstract nodes and one link
+// (Table 1a, Full Mesh).
+func FullMesh(n int) *config.Network {
+	if n < 3 {
+		panic("netgen: mesh needs at least 3 nodes")
+	}
+	net := config.New(fmt.Sprintf("mesh-%d", n))
+	var alloc prefixAlloc
+	asn := 64512
+	nextASN := func() int { asn++; return asn }
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		names[i] = fmt.Sprintf("r-%04d", i)
+		r := net.AddRouter(names[i])
+		r.EnsureBGP(nextASN())
+		r.Originate = append(r.Originate, alloc.alloc())
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			net.AddLink(names[i], names[j])
+			peer(net, names[i], names[j])
+		}
+	}
+	for _, name := range names {
+		originateOnlyOwn(net.Routers[name])
+	}
+	return net
+}
+
+// unusedTag returns a community that is set by some routers' policies but
+// never matched anywhere, reproducing the role-noise of the paper's
+// datacenter network.
+func unusedTag(i int) protocols.Community {
+	return protocols.MakeCommunity(65000, uint16(1+i%4096))
+}

@@ -1,0 +1,46 @@
+package netgen
+
+import (
+	"testing"
+	"time"
+
+	"bonsai/internal/build"
+	"bonsai/internal/config"
+)
+
+// TestPerfLarge probes compression cost at the paper's largest sizes. It is
+// a smoke test (no assertions beyond success) used to keep the Table 1
+// benchmarks honest.
+func TestPerfLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf probe")
+	}
+	cases := []struct {
+		name string
+		net  *config.Network
+	}{
+		{"fattree30", Fattree(30, PolicyShortestPath)},
+		{"ring1000", Ring(1000)},
+		{"mesh150", FullMesh(150)},
+		{"dc-default", Datacenter(DCOptions{})},
+		{"wan-default", WAN(WANOptions{})},
+	}
+	for _, c := range cases {
+		b, err := build.New(c.net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes := b.Classes()
+		start := time.Now()
+		comp := b.NewCompiler(true)
+		cls := classes[0]
+		abs, err := b.Compress(comp, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: nodes=%d links=%d ifaces=%d classes=%d compress1EC=%v -> %d/%d (iter=%d) bdd=%d roles(erased)=%d",
+			c.name, b.G.NumNodes(), b.G.NumLinks(), c.net.NumInterfaces(), len(classes),
+			time.Since(start), abs.NumAbstractNodes(), abs.NumAbstractEdges(),
+			abs.Iterations, comp.M.Size(), b.RoleCount(true, false))
+	}
+}

@@ -1,0 +1,119 @@
+package netgen
+
+import (
+	"fmt"
+
+	"bonsai/internal/config"
+	"bonsai/internal/policy"
+)
+
+// WANOptions sizes the wide-area-network stand-in. Defaults calibrate to
+// the paper's operational WAN (Table 1b): 1086 devices — a routed backbone
+// plus many sites whose access switches run an IGP and reach the world
+// through a redistributing gateway — using a mix of eBGP, OSPF and static
+// routing, with neighbor-specific prefix-based filters providing most of the
+// role diversity. The paper's network also used iBGP; this substitute
+// replaces the iBGP overlay with eBGP at the gateways plus OSPF-to-BGP
+// redistribution, which exercises the same compression machinery (multi-
+// protocol attributes, per-neighbor policy BDDs) without a full iBGP model
+// (see DESIGN.md substitutions).
+type WANOptions struct {
+	Backbone        int // backbone routers in a chorded ring (default 30)
+	Sites           int // sites, each one gateway (default 132)
+	SwitchesPerSite int // access switches per site (default 7)
+}
+
+func (o *WANOptions) defaults() {
+	if o.Backbone == 0 {
+		o.Backbone = 30
+	}
+	if o.Sites == 0 {
+		o.Sites = 132
+	}
+	if o.SwitchesPerSite == 0 {
+		o.SwitchesPerSite = 7
+	}
+}
+
+// WAN generates the operational-WAN stand-in.
+func WAN(opts WANOptions) *config.Network {
+	opts.defaults()
+	n := config.New("wan")
+	var alloc prefixAlloc
+	asn := 64512
+	nextASN := func() int { asn++; return asn }
+
+	// Backbone: chorded ring of eBGP routers providing transit.
+	bb := make([]string, opts.Backbone)
+	for i := range bb {
+		bb[i] = fmt.Sprintf("bb-%02d", i)
+		n.AddRouter(bb[i]).EnsureBGP(nextASN())
+	}
+	link := func(a, b string) {
+		n.AddLink(a, b)
+		peer(n, a, b)
+	}
+	for i := range bb {
+		link(bb[i], bb[(i+1)%opts.Backbone])
+	}
+	for i := 0; i < opts.Backbone; i += 3 {
+		j := (i + opts.Backbone/2) % opts.Backbone
+		if j != i && j != (i+1)%opts.Backbone {
+			link(bb[i], bb[j])
+		}
+	}
+
+	for s := 0; s < opts.Sites; s++ {
+		gw := fmt.Sprintf("gw-%03d", s)
+		g := n.AddRouter(gw)
+		g.EnsureBGP(nextASN())
+		g.BGP.RedistributeOSPF = true
+		g.BGP.RedistributeStatic = true
+
+		// Dual-homed to two adjacent backbone routers.
+		a := bb[s%opts.Backbone]
+		b := bb[(s+1)%opts.Backbone]
+		n.AddLink(gw, a)
+		n.AddLink(gw, b)
+		peer(n, gw, a)
+		peer(n, gw, b)
+
+		// Site interior: OSPF star of access switches; each switch
+		// originates one prefix and also carries a static default toward
+		// the gateway (common operational practice, and it exercises
+		// static routing at scale).
+		gOSPF := g.EnsureOSPF()
+		sitePrefixes := []policy.PrefixEntry{}
+		for w := 0; w < opts.SwitchesPerSite; w++ {
+			sw := fmt.Sprintf("sw-%03d-%d", s, w)
+			r := n.AddRouter(sw)
+			n.AddLink(sw, gw)
+			cost := 10
+			if w%3 == 2 {
+				cost = 20 // a slower uplink variant
+			}
+			r.EnsureOSPF().Ifaces[gw] = config.OSPFIface{Cost: cost, Area: s + 1}
+			gOSPF.Ifaces[sw] = config.OSPFIface{Cost: cost, Area: s + 1}
+			p := alloc.alloc()
+			r.Originate = append(r.Originate, p)
+			sitePrefixes = append(sitePrefixes, policy.PrefixEntry{Action: policy.Permit, Prefix: p})
+			r.Statics = append(r.Statics, config.StaticRoute{
+				Prefix:  mustPrefix("0.0.0.0/0"),
+				NextHop: gw,
+			})
+		}
+
+		// Neighbor-specific prefix filter: the gateway only exports its own
+		// site's prefixes to the backbone. Because every site's prefix set
+		// differs, nearly every gateway is a distinct role — the dominant
+		// source of the paper's 137 WAN roles.
+		g.Env.PrefixLists["SITE"] = &policy.PrefixList{Name: "SITE", Entries: sitePrefixes}
+		g.Env.RouteMaps["EXPORT-SITE"] = &policy.RouteMap{Name: "EXPORT-SITE", Clauses: []policy.Clause{
+			{Seq: 10, Action: policy.Permit, Matches: []policy.Match{{Kind: policy.MatchPrefix, Arg: "SITE"}}},
+		}}
+		for _, nb := range g.BGP.Neighbors {
+			nb.ExportMap = "EXPORT-SITE"
+		}
+	}
+	return n
+}

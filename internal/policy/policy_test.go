@@ -1,0 +1,157 @@
+package policy
+
+import (
+	"net/netip"
+	"testing"
+
+	"bonsai/internal/protocols"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestPrefixEntryMatching(t *testing.T) {
+	exact := PrefixEntry{Action: Permit, Prefix: pfx("10.0.0.0/24")}
+	if !exact.matches(pfx("10.0.0.0/24")) {
+		t.Fatal("exact match failed")
+	}
+	if exact.matches(pfx("10.0.0.0/25")) {
+		t.Fatal("longer prefix matched exact entry")
+	}
+	ranged := PrefixEntry{Action: Permit, Prefix: pfx("10.0.0.0/8"), Ge: 24, Le: 28}
+	if !ranged.matches(pfx("10.1.2.0/24")) || !ranged.matches(pfx("10.1.2.0/28")) {
+		t.Fatal("ge/le range match failed")
+	}
+	if ranged.matches(pfx("10.0.0.0/16")) || ranged.matches(pfx("10.0.0.0/30")) {
+		t.Fatal("out-of-range length matched")
+	}
+	geOnly := PrefixEntry{Action: Permit, Prefix: pfx("10.0.0.0/8"), Ge: 9}
+	if !geOnly.matches(pfx("10.0.0.0/32")) {
+		t.Fatal("ge-only should extend to /32")
+	}
+}
+
+func TestPrefixListFirstMatchWins(t *testing.T) {
+	l := &PrefixList{Name: "pl", Entries: []PrefixEntry{
+		{Action: Deny, Prefix: pfx("10.0.0.0/24")},
+		{Action: Permit, Prefix: pfx("10.0.0.0/8"), Ge: 8, Le: 32},
+	}}
+	if l.Matches(pfx("10.0.0.0/24")) {
+		t.Fatal("deny entry should win")
+	}
+	if !l.Matches(pfx("10.0.1.0/24")) {
+		t.Fatal("fallback permit should match")
+	}
+	if l.Matches(pfx("192.168.0.0/24")) {
+		t.Fatal("implicit deny broken")
+	}
+}
+
+func TestRouteMapEval(t *testing.T) {
+	c1 := protocols.MakeCommunity(65001, 1)
+	c2 := protocols.MakeCommunity(65001, 2)
+	c3 := protocols.MakeCommunity(65001, 3)
+	env := NewEnv()
+	env.CommunityLists["dept"] = &CommunityList{Name: "dept", Communities: []protocols.Community{c1, c2}}
+	env.RouteMaps["M"] = &RouteMap{Name: "M", Clauses: []Clause{
+		{Seq: 10, Action: Permit,
+			Matches: []Match{{Kind: MatchCommunity, Arg: "dept"}},
+			Sets: []Set{
+				{Kind: AddCommunity, Comm: c3},
+				{Kind: SetLocalPref, Value: 350},
+			}},
+		{Seq: 20, Action: Permit},
+	}}
+
+	// Figure 10 policy: tagged route gets 65001:3 and LP 350.
+	in := &protocols.BGPAttr{LP: 100, Comms: protocols.NewCommSet(c1)}
+	out := env.EvalRouteMap("M", pfx("10.0.0.0/24"), in)
+	if out == nil || out.LP != 350 || !out.Comms.Has(c3) || !out.Comms.Has(c1) {
+		t.Fatalf("tagged route: %v", out)
+	}
+	// Untagged route falls through to clause 20 unchanged.
+	in2 := &protocols.BGPAttr{LP: 100}
+	out2 := env.EvalRouteMap("M", pfx("10.0.0.0/24"), in2)
+	if out2 == nil || out2.LP != 100 || len(out2.Comms) != 0 {
+		t.Fatalf("untagged route: %v", out2)
+	}
+	// Input must not be mutated.
+	if in.LP != 100 || in.Comms.Has(c3) {
+		t.Fatal("EvalRouteMap mutated its input")
+	}
+}
+
+func TestRouteMapImplicitDeny(t *testing.T) {
+	env := NewEnv()
+	env.PrefixLists["only10"] = &PrefixList{Entries: []PrefixEntry{
+		{Action: Permit, Prefix: pfx("10.0.0.0/8"), Ge: 8, Le: 32},
+	}}
+	env.RouteMaps["F"] = &RouteMap{Clauses: []Clause{
+		{Action: Permit, Matches: []Match{{Kind: MatchPrefix, Arg: "only10"}}},
+	}}
+	a := &protocols.BGPAttr{LP: 100}
+	if env.EvalRouteMap("F", pfx("10.1.0.0/16"), a) == nil {
+		t.Fatal("permitted prefix denied")
+	}
+	if env.EvalRouteMap("F", pfx("192.168.0.0/16"), a) != nil {
+		t.Fatal("implicit deny failed")
+	}
+	// Empty route-map name permits unchanged.
+	if env.EvalRouteMap("", pfx("192.168.0.0/16"), a) != a {
+		t.Fatal("empty name should be identity")
+	}
+}
+
+func TestRouteMapDenyClause(t *testing.T) {
+	bad := protocols.MakeCommunity(666, 1)
+	env := NewEnv()
+	env.CommunityLists["bad"] = &CommunityList{Communities: []protocols.Community{bad}}
+	env.RouteMaps["D"] = &RouteMap{Clauses: []Clause{
+		{Action: Deny, Matches: []Match{{Kind: MatchCommunity, Arg: "bad"}}},
+		{Action: Permit},
+	}}
+	if env.EvalRouteMap("D", pfx("10.0.0.0/24"), &protocols.BGPAttr{Comms: protocols.NewCommSet(bad)}) != nil {
+		t.Fatal("deny clause did not drop")
+	}
+	if env.EvalRouteMap("D", pfx("10.0.0.0/24"), &protocols.BGPAttr{}) == nil {
+		t.Fatal("clean route dropped")
+	}
+}
+
+func TestLocalPrefValues(t *testing.T) {
+	env := NewEnv()
+	env.PrefixLists["never"] = &PrefixList{} // matches nothing
+	env.RouteMaps["P"] = &RouteMap{Clauses: []Clause{
+		{Action: Permit, Sets: []Set{{Kind: SetLocalPref, Value: 200}}},
+		{Action: Permit, Matches: []Match{{Kind: MatchPrefix, Arg: "never"}},
+			Sets: []Set{{Kind: SetLocalPref, Value: 300}}},
+		{Action: Deny, Sets: []Set{{Kind: SetLocalPref, Value: 400}}},
+	}}
+	got := map[uint32]bool{}
+	env.LocalPrefValues("P", pfx("10.0.0.0/24"), got)
+	if !got[200] {
+		t.Fatal("reachable set lost")
+	}
+	if got[300] {
+		t.Fatal("prefix-unreachable clause counted")
+	}
+	if got[400] {
+		t.Fatal("deny clause counted")
+	}
+}
+
+func TestACL(t *testing.T) {
+	env := NewEnv()
+	env.ACLs["blockA"] = &ACL{Entries: []PrefixEntry{
+		{Action: Deny, Prefix: pfx("10.0.0.0/24")},
+		{Action: Permit, Prefix: pfx("0.0.0.0/0"), Ge: 0, Le: 32},
+	}}
+	if env.ACLPermits("blockA", pfx("10.0.0.0/24")) {
+		t.Fatal("blocked prefix permitted")
+	}
+	if !env.ACLPermits("blockA", pfx("10.0.1.0/24")) {
+		t.Fatal("allowed prefix blocked")
+	}
+	if !env.ACLPermits("", pfx("10.0.0.0/24")) {
+		t.Fatal("empty ACL name must permit")
+	}
+}

@@ -1,0 +1,156 @@
+// Package topo provides the directed graph used as the topology component of
+// a Stable Routing Problem (paper §3.1: G = (V, E, d)). Vertices carry names
+// so that compressed networks remain human-readable; edges are directed, and
+// an SRP edge (u, v) means "u may learn routes from v".
+package topo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a vertex within one Graph.
+type NodeID int
+
+// Edge is a directed edge (U learns from V).
+type Edge struct {
+	U, V NodeID
+}
+
+// Graph is a directed graph with named vertices. The zero value is an empty
+// graph ready to use.
+type Graph struct {
+	names []string
+	index map[string]NodeID
+	succ  [][]NodeID // succ[u] = nodes u has edges to (u learns from them)
+	pred  [][]NodeID
+	edges map[Edge]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{index: make(map[string]NodeID), edges: make(map[Edge]bool)}
+}
+
+// AddNode adds a vertex with the given name, or returns the existing one.
+func (g *Graph) AddNode(name string) NodeID {
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	id := NodeID(len(g.names))
+	g.names = append(g.names, name)
+	g.index[name] = id
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return id
+}
+
+// Lookup returns the vertex with the given name.
+func (g *Graph) Lookup(name string) (NodeID, bool) {
+	id, ok := g.index[name]
+	return id, ok
+}
+
+// MustLookup returns the vertex with the given name or panics.
+func (g *Graph) MustLookup(name string) NodeID {
+	id, ok := g.index[name]
+	if !ok {
+		panic(fmt.Sprintf("topo: unknown node %q", name))
+	}
+	return id
+}
+
+// Name returns the name of vertex u.
+func (g *Graph) Name(u NodeID) string { return g.names[u] }
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// NumLinks returns the number of undirected links, counting a pair of
+// antiparallel directed edges as one link and a lone directed edge as one.
+func (g *Graph) NumLinks() int {
+	n := 0
+	for e := range g.edges {
+		if e.U < e.V || !g.edges[Edge{e.V, e.U}] {
+			n++
+		}
+	}
+	return n
+}
+
+// AddEdge inserts the directed edge (u, v). Self loops are rejected because
+// well-formed SRPs are self-loop-free (paper §3.1).
+func (g *Graph) AddEdge(u, v NodeID) {
+	if u == v {
+		panic(fmt.Sprintf("topo: self loop at %s", g.names[u]))
+	}
+	e := Edge{u, v}
+	if g.edges[e] {
+		return
+	}
+	g.edges[e] = true
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+}
+
+// AddLink inserts both directed edges between u and v.
+func (g *Graph) AddLink(u, v NodeID) {
+	g.AddEdge(u, v)
+	g.AddEdge(v, u)
+}
+
+// HasEdge reports whether the directed edge (u, v) exists.
+func (g *Graph) HasEdge(u, v NodeID) bool { return g.edges[Edge{u, v}] }
+
+// Succ returns the vertices u has edges to. The caller must not modify it.
+func (g *Graph) Succ(u NodeID) []NodeID { return g.succ[u] }
+
+// Pred returns the vertices with edges to u. The caller must not modify it.
+func (g *Graph) Pred(u NodeID) []NodeID { return g.pred[u] }
+
+// Edges returns all directed edges in deterministic order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// Nodes returns all vertex IDs in order.
+func (g *Graph) Nodes() []NodeID {
+	out := make([]NodeID, len(g.names))
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+// String renders the graph compactly for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph{%d nodes, %d edges}", g.NumNodes(), g.NumEdges())
+	return b.String()
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	h := New()
+	for _, name := range g.names {
+		h.AddNode(name)
+	}
+	for e := range g.edges {
+		h.AddEdge(e.U, e.V)
+	}
+	return h
+}

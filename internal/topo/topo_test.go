@@ -1,0 +1,100 @@
+package topo
+
+import "testing"
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := New()
+	a := g.AddNode("a")
+	if g.AddNode("a") != a {
+		t.Fatal("AddNode not idempotent")
+	}
+	if g.NumNodes() != 1 {
+		t.Fatalf("NumNodes = %d, want 1", g.NumNodes())
+	}
+	if g.Name(a) != "a" {
+		t.Fatalf("Name = %q", g.Name(a))
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddEdge(a, b)
+	g.AddEdge(a, b) // duplicate ignored
+	g.AddLink(b, c)
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.NumLinks() != 2 {
+		t.Fatalf("NumLinks = %d, want 2", g.NumLinks())
+	}
+	if !g.HasEdge(a, b) || g.HasEdge(b, a) {
+		t.Fatal("directedness broken")
+	}
+	if len(g.Succ(a)) != 1 || g.Succ(a)[0] != b {
+		t.Fatal("Succ wrong")
+	}
+	if len(g.Pred(b)) != 2 {
+		t.Fatalf("Pred(b) = %v", g.Pred(b))
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self loop did not panic")
+		}
+	}()
+	g := New()
+	a := g.AddNode("a")
+	g.AddEdge(a, a)
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode("a"), g.AddNode("b"), g.AddNode("c")
+	g.AddLink(a, c)
+	g.AddLink(a, b)
+	es := g.Edges()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].U > es[i].U || (es[i-1].U == es[i].U && es[i-1].V >= es[i].V) {
+			t.Fatalf("edges not sorted: %v", es)
+		}
+	}
+	if len(es) != 4 {
+		t.Fatalf("len = %d", len(es))
+	}
+	_ = b
+}
+
+func TestClone(t *testing.T) {
+	g := New()
+	a, b := g.AddNode("a"), g.AddNode("b")
+	g.AddLink(a, b)
+	h := g.Clone()
+	c := h.AddNode("c")
+	h.AddEdge(c, a)
+	if g.NumNodes() != 2 || h.NumNodes() != 3 {
+		t.Fatal("clone not independent")
+	}
+	if !h.HasEdge(a, b) {
+		t.Fatal("clone missing edge")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	g := New()
+	g.AddNode("r1")
+	if _, ok := g.Lookup("r2"); ok {
+		t.Fatal("found missing node")
+	}
+	if id := g.MustLookup("r1"); g.Name(id) != "r1" {
+		t.Fatal("MustLookup wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup on missing node did not panic")
+		}
+	}()
+	g.MustLookup("nope")
+}

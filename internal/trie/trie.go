@@ -1,0 +1,148 @@
+// Package trie implements a binary prefix trie over IPv4 prefixes. Bonsai
+// uses it to partition the address space into destination equivalence
+// classes: leaves record which routers originate each prefix, and every
+// address range whose longest-match prefix is the same belongs to one class
+// (paper §5.1, "Destination Equivalence Classes").
+package trie
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Trie maps IPv4 prefixes to sets of origin names.
+type Trie struct {
+	root *node
+	n    int
+}
+
+type node struct {
+	lo, hi  *node // bit 0 / bit 1 children
+	origins map[string]bool
+	term    bool // a prefix ends exactly here
+	prefix  netip.Prefix
+}
+
+// New returns an empty trie.
+func New() *Trie { return &Trie{root: &node{}} }
+
+// Len returns the number of distinct prefixes inserted.
+func (t *Trie) Len() int { return t.n }
+
+// Insert records that origin originates prefix p. Only IPv4 prefixes are
+// supported.
+func (t *Trie) Insert(p netip.Prefix, origin string) {
+	if !p.Addr().Is4() {
+		panic(fmt.Sprintf("trie: non-IPv4 prefix %v", p))
+	}
+	p = p.Masked()
+	bits := addrBits(p.Addr())
+	cur := t.root
+	for i := 0; i < p.Bits(); i++ {
+		if bits&(1<<(31-uint(i))) == 0 {
+			if cur.lo == nil {
+				cur.lo = &node{}
+			}
+			cur = cur.lo
+		} else {
+			if cur.hi == nil {
+				cur.hi = &node{}
+			}
+			cur = cur.hi
+		}
+	}
+	if !cur.term {
+		cur.term = true
+		cur.prefix = p
+		cur.origins = make(map[string]bool)
+		t.n++
+	}
+	if origin != "" {
+		cur.origins[origin] = true
+	}
+}
+
+// Lookup returns the origins of the longest inserted prefix containing addr,
+// together with that prefix. ok is false when no prefix matches.
+func (t *Trie) Lookup(addr netip.Addr) (netip.Prefix, []string, bool) {
+	if !addr.Is4() {
+		return netip.Prefix{}, nil, false
+	}
+	bits := addrBits(addr)
+	cur := t.root
+	var best *node
+	for i := 0; i <= 32; i++ {
+		if cur.term {
+			best = cur
+		}
+		if i == 32 {
+			break
+		}
+		if bits&(1<<(31-uint(i))) == 0 {
+			cur = cur.lo
+		} else {
+			cur = cur.hi
+		}
+		if cur == nil {
+			break
+		}
+	}
+	if best == nil {
+		return netip.Prefix{}, nil, false
+	}
+	return best.prefix, sortedKeys(best.origins), true
+}
+
+// Class is a destination equivalence class: a representative prefix and the
+// set of routers originating it. All addresses whose longest match is Prefix
+// behave identically in the control plane, so one SRP per class suffices.
+type Class struct {
+	Prefix  netip.Prefix
+	Origins []string
+}
+
+// Classes returns one equivalence class per inserted prefix that is the
+// longest match for at least one address (i.e. is not fully shadowed by
+// longer inserted prefixes). Classes are sorted by prefix.
+func (t *Trie) Classes() []Class {
+	var out []Class
+	var walk func(n *node) bool // reports whether subtree fully covers its range
+	walk = func(n *node) bool {
+		if n == nil {
+			return false
+		}
+		loCovered := walk(n.lo)
+		hiCovered := walk(n.hi)
+		covered := loCovered && hiCovered
+		if n.term {
+			if !covered {
+				out = append(out, Class{Prefix: n.prefix, Origins: sortedKeys(n.origins)})
+			}
+			return true
+		}
+		return covered
+	}
+	walk(t.root)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+func addrBits(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

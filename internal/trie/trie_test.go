@@ -1,0 +1,104 @@
+package trie
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestInsertLookup(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/8"), "r1")
+	tr.Insert(pfx("10.1.0.0/16"), "r2")
+	tr.Insert(pfx("10.1.0.0/16"), "r3")
+
+	p, origins, ok := tr.Lookup(netip.MustParseAddr("10.1.2.3"))
+	if !ok || p != pfx("10.1.0.0/16") {
+		t.Fatalf("longest match = %v ok=%v", p, ok)
+	}
+	if len(origins) != 2 || origins[0] != "r2" || origins[1] != "r3" {
+		t.Fatalf("origins = %v", origins)
+	}
+
+	p, origins, ok = tr.Lookup(netip.MustParseAddr("10.2.0.1"))
+	if !ok || p != pfx("10.0.0.0/8") || len(origins) != 1 || origins[0] != "r1" {
+		t.Fatalf("fallback match wrong: %v %v %v", p, origins, ok)
+	}
+
+	if _, _, ok := tr.Lookup(netip.MustParseAddr("192.168.0.1")); ok {
+		t.Fatal("matched address outside any prefix")
+	}
+}
+
+func TestClassesDisjoint(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/24"), "a")
+	tr.Insert(pfx("10.0.1.0/24"), "b")
+	tr.Insert(pfx("10.0.2.0/24"), "c")
+	cls := tr.Classes()
+	if len(cls) != 3 {
+		t.Fatalf("classes = %d, want 3", len(cls))
+	}
+	if cls[0].Prefix != pfx("10.0.0.0/24") || cls[0].Origins[0] != "a" {
+		t.Fatalf("first class = %+v", cls[0])
+	}
+}
+
+func TestClassesShadowing(t *testing.T) {
+	tr := New()
+	// /24 split fully into two /25s: the /24 is shadowed everywhere.
+	tr.Insert(pfx("10.0.0.0/24"), "cover")
+	tr.Insert(pfx("10.0.0.0/25"), "lo")
+	tr.Insert(pfx("10.0.0.128/25"), "hi")
+	cls := tr.Classes()
+	if len(cls) != 2 {
+		t.Fatalf("classes = %d, want 2 (shadowed /24 must vanish): %+v", len(cls), cls)
+	}
+	for _, c := range cls {
+		if c.Origins[0] == "cover" {
+			t.Fatal("shadowed prefix appeared as a class")
+		}
+	}
+}
+
+func TestClassesPartialShadow(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/24"), "cover")
+	tr.Insert(pfx("10.0.0.0/25"), "lo") // only half shadowed
+	cls := tr.Classes()
+	if len(cls) != 2 {
+		t.Fatalf("classes = %d, want 2: %+v", len(cls), cls)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("0.0.0.0/0"), "gw")
+	p, origins, ok := tr.Lookup(netip.MustParseAddr("203.0.113.9"))
+	if !ok || p.Bits() != 0 || origins[0] != "gw" {
+		t.Fatal("default route lookup failed")
+	}
+	if len(tr.Classes()) != 1 {
+		t.Fatal("default route should be one class")
+	}
+}
+
+func TestLenCountsDistinct(t *testing.T) {
+	tr := New()
+	tr.Insert(pfx("10.0.0.0/24"), "a")
+	tr.Insert(pfx("10.0.0.0/24"), "b")
+	tr.Insert(pfx("10.0.1.0/24"), "c")
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestRejectIPv6(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("IPv6 insert did not panic")
+		}
+	}()
+	New().Insert(netip.MustParsePrefix("2001:db8::/32"), "x")
+}

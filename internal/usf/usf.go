@@ -1,0 +1,131 @@
+// Package usf implements the union-split-find partition structure used by
+// Bonsai's abstraction-refinement loop (paper §5.2, Algorithm 1). It
+// maintains a partition of {0..n-1} into disjoint groups (the abstract
+// nodes), supports splitting a group by an arbitrary key function, and maps
+// elements to group representatives in O(1).
+package usf
+
+import "sort"
+
+// Partition maintains disjoint groups over the elements 0..n-1.
+type Partition struct {
+	group  []int   // element -> group id
+	member [][]int // group id -> sorted members (nil after a group dies)
+	live   []int   // ids of live groups, in creation order
+}
+
+// New returns the coarsest partition: a single group holding 0..n-1.
+func New(n int) *Partition {
+	p := &Partition{group: make([]int, n)}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	p.member = append(p.member, all)
+	p.live = append(p.live, 0)
+	return p
+}
+
+// Len returns the number of elements.
+func (p *Partition) Len() int { return len(p.group) }
+
+// NumGroups returns the current number of groups.
+func (p *Partition) NumGroups() int { return len(p.live) }
+
+// Find returns the group id of element x.
+func (p *Partition) Find(x int) int { return p.group[x] }
+
+// Members returns the sorted members of group id. Callers must not modify
+// the returned slice.
+func (p *Partition) Members(id int) []int { return p.member[id] }
+
+// Groups returns the ids of all live groups in creation order. Callers must
+// not modify the returned slice.
+func (p *Partition) Groups() []int { return p.live }
+
+// SameGroup reports whether x and y are currently in the same group.
+func (p *Partition) SameGroup(x, y int) bool { return p.group[x] == p.group[y] }
+
+// Split separates the listed elements out of their groups. Elements must
+// currently belong to live groups. For each affected group g, the elements
+// of g listed in xs form one new group and the remainder of g stays in g
+// (unless the remainder is empty, in which case g keeps exactly xs and no
+// new group is created). It returns the ids of the newly created groups.
+func (p *Partition) Split(xs []int) []int {
+	byGroup := make(map[int][]int)
+	for _, x := range xs {
+		byGroup[p.group[x]] = append(byGroup[p.group[x]], x)
+	}
+	var created []int
+	for g, picked := range byGroup {
+		if len(picked) == len(p.member[g]) {
+			continue // splitting out everything is a no-op
+		}
+		pickedSet := make(map[int]bool, len(picked))
+		for _, x := range picked {
+			pickedSet[x] = true
+		}
+		var rest []int
+		for _, x := range p.member[g] {
+			if !pickedSet[x] {
+				rest = append(rest, x)
+			}
+		}
+		sort.Ints(picked)
+		p.member[g] = rest
+		newID := len(p.member)
+		p.member = append(p.member, picked)
+		p.live = append(p.live, newID)
+		for _, x := range picked {
+			p.group[x] = newID
+		}
+		created = append(created, newID)
+	}
+	return created
+}
+
+// Refine splits group id by key: members with equal keys stay together.
+// It returns true if the group actually split. Keys are compared as strings.
+func (p *Partition) Refine(id int, key func(x int) string) bool {
+	members := p.member[id]
+	if len(members) <= 1 {
+		return false
+	}
+	byKey := make(map[string][]int)
+	order := []string{}
+	for _, x := range members {
+		k := key(x)
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], x)
+	}
+	if len(byKey) == 1 {
+		return false
+	}
+	sort.Strings(order) // deterministic split order
+	// Keep the first key class in place; split the rest out.
+	for _, k := range order[1:] {
+		p.Split(byKey[k])
+	}
+	return true
+}
+
+// Snapshot returns the current groups as a slice of sorted member slices,
+// ordered by smallest member, along with a map element -> snapshot index.
+func (p *Partition) Snapshot() ([][]int, []int) {
+	groups := make([][]int, 0, len(p.live))
+	for _, id := range p.live {
+		ms := make([]int, len(p.member[id]))
+		copy(ms, p.member[id])
+		groups = append(groups, ms)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	idx := make([]int, len(p.group))
+	for i, g := range groups {
+		for _, x := range g {
+			idx[x] = i
+		}
+	}
+	return groups, idx
+}

@@ -1,0 +1,23 @@
+package verify
+
+import (
+	"testing"
+
+	"bonsai/internal/build"
+	"bonsai/internal/netgen"
+)
+
+func BenchmarkCompressOneEC(b *testing.B) {
+	bd, err := build.New(netgen.Fattree(12, netgen.PolicyShortestPath))
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp := bd.NewCompiler(true)
+	classes := bd.Classes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bd.Compress(comp, classes[i%len(classes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

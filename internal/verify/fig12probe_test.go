@@ -1,0 +1,27 @@
+package verify
+
+import (
+	"testing"
+
+	"bonsai/internal/build"
+	"bonsai/internal/netgen"
+)
+
+func TestFig12Probe(t *testing.T) {
+	for _, k := range []int{4, 6, 8} {
+		b, err := build.New(netgen.Fattree(k, netgen.PolicyShortestPath))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := Options{Workers: 1, PerPairCertification: true}
+		conc, err := AllPairsConcrete(b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bon, err := AllPairsBonsai(b, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("k=%d nodes=%d: concrete=%v bonsai=%v (compress %v)", k, b.G.NumNodes(), conc.Total, bon.Total, bon.Compress)
+	}
+}

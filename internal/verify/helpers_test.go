@@ -1,0 +1,21 @@
+package verify
+
+import (
+	"fmt"
+
+	"bonsai/internal/config"
+	"bonsai/internal/policy"
+)
+
+// parseACL pulls the ACL named B out of a config snippet for test setup.
+func parseACL(text string) (*policy.ACL, error) {
+	net, err := config.ParseString(text)
+	if err != nil {
+		return nil, err
+	}
+	a := net.Routers["x"].Env.ACLs["B"]
+	if a == nil {
+		return nil, fmt.Errorf("acl B missing")
+	}
+	return a, nil
+}

@@ -1,0 +1,154 @@
+package verify
+
+import (
+	"testing"
+
+	"bonsai/internal/build"
+	"bonsai/internal/netgen"
+)
+
+func fattree4(t *testing.T) *build.Builder {
+	t.Helper()
+	b, err := build.New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestAllPairsConcreteAndBonsaiAgree(t *testing.T) {
+	b := fattree4(t)
+	conc, err := AllPairsConcrete(b, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bon, err := AllPairsBonsai(b, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In a healthy fattree everything reaches everything: both verifiers
+	// must report full reachability (over their respective node sets).
+	if conc.ReachablePairs != conc.Pairs {
+		t.Fatalf("concrete: %d/%d reachable", conc.ReachablePairs, conc.Pairs)
+	}
+	if bon.ReachablePairs != bon.Pairs {
+		t.Fatalf("bonsai: %d/%d reachable", bon.ReachablePairs, bon.Pairs)
+	}
+	if bon.Pairs >= conc.Pairs {
+		t.Fatalf("abstract verification should check fewer pairs: %d vs %d",
+			bon.Pairs, conc.Pairs)
+	}
+	if conc.Classes != bon.Classes {
+		t.Fatal("class counts must match")
+	}
+}
+
+func TestAllPairsParallelMatchesSequential(t *testing.T) {
+	b := fattree4(t)
+	seq, err := AllPairsConcrete(b, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AllPairsConcrete(b, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Pairs != par.Pairs || seq.ReachablePairs != par.ReachablePairs {
+		t.Fatalf("parallel run diverged: seq=%v par=%v", seq, par)
+	}
+}
+
+func TestMaxClasses(t *testing.T) {
+	b := fattree4(t)
+	r, err := AllPairsConcrete(b, Options{MaxClasses: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Classes != 3 {
+		t.Fatalf("classes = %d, want 3", r.Classes)
+	}
+}
+
+func TestReachQueryBothModes(t *testing.T) {
+	b := fattree4(t)
+	// Find the prefix originated by edge-0-0.
+	dest := b.Cfg.Routers["edge-0-0"].Originate[0].String()
+	for _, bonsai := range []bool{false, true} {
+		ok, _, err := Reach(b, "edge-1-1", dest, bonsai)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("bonsai=%v: edge-1-1 should reach %s", bonsai, dest)
+		}
+	}
+	// Unknown source errors.
+	if _, _, err := Reach(b, "nope", dest, false); err == nil {
+		t.Fatal("unknown source accepted")
+	}
+	// Unknown destination errors.
+	if _, _, err := Reach(b, "edge-1-1", "203.0.113.0/24", false); err == nil {
+		t.Fatal("unknown destination accepted")
+	}
+}
+
+func TestReachDetectsACLBlock(t *testing.T) {
+	// Block a destination at every aggregation router of its own pod: the
+	// query must flip to unreachable, concretely and compressed.
+	n := netgen.Fattree(4, netgen.PolicyShortestPath)
+	dest := n.Routers["edge-0-0"].Originate[0]
+	for _, agg := range []string{"agg-0-0", "agg-0-1"} {
+		r := n.Routers[agg]
+		txt := "router x\n  acl B deny " + dest.String() + "\n  acl B permit 0.0.0.0/0 le 32\n"
+		parsed, err := parseACL(txt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Env.ACLs["B"] = parsed
+		r.IfaceACL["edge-0-0"] = "B"
+	}
+	b, err := build.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bonsai := range []bool{false, true} {
+		ok, _, err := Reach(b, "edge-1-1", dest.String(), bonsai)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("bonsai=%v: ACL block not detected", bonsai)
+		}
+		// The sibling edge router in pod 0 is also cut off (its only
+		// paths go through the pod aggs).
+		ok, _, err = Reach(b, "edge-0-1", dest.String(), bonsai)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("bonsai=%v: sibling should be blocked too", bonsai)
+		}
+	}
+}
+
+func TestBonsaiSpeedupOnLargerNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	b, err := build.New(netgen.Fattree(8, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := AllPairsConcrete(b, Options{Workers: 1, MaxClasses: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bon, err := AllPairsBonsai(b, Options{Workers: 1, MaxClasses: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("concrete=%v bonsai=%v (incl. compression %v)", conc.Total, bon.Total, bon.Compress)
+	if conc.ReachablePairs != conc.Pairs || bon.ReachablePairs != bon.Pairs {
+		t.Fatal("reachability broken")
+	}
+}
