@@ -1,0 +1,3 @@
+module bonsai
+
+go 1.24

@@ -1,0 +1,292 @@
+// Package build is the orchestration layer tying the algorithmic packages
+// into one compression pipeline (paper §7): it parses a vendor-independent
+// network into an SRP topology, enumerates destination equivalence classes,
+// compiles routing policies into canonical BDDs, runs the refinement loop of
+// internal/core per class, and instantiates concrete and abstract SRP
+// simulations for the verification engines.
+//
+// A Builder is safe for concurrent use: the verify engines fan out across
+// destination classes with one goroutine per worker. The only shared mutable
+// state is a set of caches guarded by a mutex; each policy.Compiler, however,
+// wraps a single BDD manager and must not be shared between goroutines —
+// create one compiler per worker (NewCompiler is cheap because the community
+// universes and variable ordering are computed once per Builder).
+package build
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+
+	"bonsai/internal/config"
+	"bonsai/internal/ec"
+	"bonsai/internal/policy"
+	"bonsai/internal/protocols"
+	"bonsai/internal/topo"
+)
+
+// bgpSession is the precomputed, class-independent description of a live BGP
+// session on the directed SRP edge (u, v): u learns from v, so v's export
+// map runs first and u's import map second.
+type bgpSession struct {
+	expEnv *policy.Env
+	expMap string
+	impEnv *policy.Env
+	impMap string
+	ibgp   bool
+	// redistOSPF/redistStatic record whether the sender v injects RIB routes
+	// learned from those protocols into BGP (paper §6). They are part of the
+	// edge's transfer function and therefore of its canonical key.
+	redistOSPF   bool
+	redistStatic bool
+}
+
+// ospfAdj is the precomputed OSPF adjacency on the directed edge (u, v):
+// the cost u pays to reach via v, and whether the edge crosses an area
+// boundary.
+type ospfAdj struct {
+	cost  int
+	cross bool
+}
+
+// Builder owns the parsed network, its SRP topology and the caches shared
+// across per-class compressions.
+type Builder struct {
+	// Cfg is the parsed network configuration.
+	Cfg *config.Network
+	// G is the SRP topology: one vertex per router, a pair of directed edges
+	// per link.
+	G *topo.Graph
+
+	routers []*config.Router // indexed by NodeID
+	hasBGP  bool
+
+	// Community universes, computed once so that every compiler shares the
+	// same variable ordering (paper §7: BDDs are built once per network).
+	erasedUniverse []protocols.Community // only communities ever matched
+	fullUniverse   []protocols.Community // every community mentioned
+
+	bgpSess map[topo.Edge]bgpSession
+	ospfAdj map[topo.Edge]ospfAdj
+
+	classesOnce sync.Once
+	classes     []ec.Class
+
+	mu         sync.Mutex
+	compCaches map[*policy.Compiler]*compilerCache
+	compOrder  []*policy.Compiler // registration order, for eviction
+	roleCache  map[[2]bool]int
+	matchedSet map[protocols.Community]bool
+}
+
+// maxCompilerCaches bounds the compiler->cache registry. Workflows that
+// create a short-lived compiler per query (verify.Reach does) would
+// otherwise pin every dead compiler's BDD tables forever; evicting the
+// oldest registrations keeps the Builder usable as a long-lived service.
+// The bound comfortably exceeds any realistic worker count, so caches of
+// compilers still in use are not evicted in practice.
+const maxCompilerCaches = 64
+
+// New validates the network and constructs its Builder: the SRP graph, the
+// per-edge protocol tables and the shared community universes.
+func New(net *config.Network) (*Builder, error) {
+	if net == nil {
+		return nil, fmt.Errorf("build: nil network")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("build: %w", err)
+	}
+	b := &Builder{
+		Cfg:        net,
+		G:          topo.New(),
+		bgpSess:    make(map[topo.Edge]bgpSession),
+		ospfAdj:    make(map[topo.Edge]ospfAdj),
+		compCaches: make(map[*policy.Compiler]*compilerCache),
+		roleCache:  make(map[[2]bool]int),
+	}
+	names := net.RouterNames()
+	b.routers = make([]*config.Router, 0, len(names))
+	for _, name := range names {
+		b.G.AddNode(name)
+		r := net.Routers[name]
+		b.routers = append(b.routers, r)
+		if r.BGP != nil {
+			b.hasBGP = true
+		}
+	}
+	for _, l := range net.Links {
+		b.G.AddLink(b.G.MustLookup(l.A), b.G.MustLookup(l.B))
+	}
+	for _, e := range b.G.Edges() {
+		b.indexEdge(e)
+	}
+	b.erasedUniverse = net.MatchedCommunities()
+	b.fullUniverse = net.AllCommunities()
+	b.matchedSet = make(map[protocols.Community]bool, len(b.erasedUniverse))
+	for _, c := range b.erasedUniverse {
+		b.matchedSet[c] = true
+	}
+	return b, nil
+}
+
+// indexEdge precomputes the class-independent protocol state of directed
+// edge e = (u, v): the BGP session (if configured on both ends) and the OSPF
+// adjacency (if both interfaces exist).
+func (b *Builder) indexEdge(e topo.Edge) {
+	ur, vr := b.routers[e.U], b.routers[e.V]
+	uName, vName := b.G.Name(e.U), b.G.Name(e.V)
+	if ur.BGP != nil && vr.BGP != nil {
+		uNb, vNb := ur.BGP.Neighbors[vName], vr.BGP.Neighbors[uName]
+		if uNb != nil && vNb != nil {
+			b.bgpSess[e] = bgpSession{
+				expEnv:       vr.Env,
+				expMap:       vNb.ExportMap,
+				impEnv:       ur.Env,
+				impMap:       uNb.ImportMap,
+				ibgp:         ur.BGP.ASN == vr.BGP.ASN,
+				redistOSPF:   vr.BGP.RedistributeOSPF,
+				redistStatic: vr.BGP.RedistributeStatic,
+			}
+		}
+	}
+	if ur.OSPF != nil && vr.OSPF != nil {
+		uIf, uOK := ur.OSPF.Ifaces[vName]
+		vIf, vOK := vr.OSPF.Ifaces[uName]
+		if uOK && vOK {
+			cost := uIf.Cost
+			if cost <= 0 {
+				cost = 1
+			}
+			b.ospfAdj[e] = ospfAdj{cost: cost, cross: uIf.Area != vIf.Area}
+		}
+	}
+}
+
+// Classes returns the destination equivalence classes of the network,
+// deterministically ordered by prefix (paper §5.1). The slice is computed
+// once and shared; callers must not modify it.
+func (b *Builder) Classes() []ec.Class {
+	b.classesOnce.Do(func() { b.classes = ec.Classes(b.Cfg) })
+	return b.classes
+}
+
+// ClassFor returns the destination class owning the given prefix.
+func (b *Builder) ClassFor(prefix string) (ec.Class, error) {
+	return ec.ClassFor(b.Cfg, prefix)
+}
+
+// HasBGP reports whether any router runs BGP; if so, compression uses the
+// BGP-effective mode (∀∀ refinement plus case splitting, paper §4.3).
+func (b *Builder) HasBGP() bool { return b.hasBGP }
+
+// NewCompiler creates a policy compiler over the network's community
+// universe. With eraseUnusedTags, the universe contains only communities
+// that some route map can match, implementing the unused-tag-erasing
+// attribute abstraction of §8; otherwise every mentioned community gets BDD
+// variables. Compilers reuse the Builder's precomputed universes, so the
+// variable ordering is identical across compilers and the per-compiler
+// canonical edge-policy cache composes across destination classes.
+//
+// A compiler (and its BDD manager) must only be used by one goroutine at a
+// time; create one per worker for parallel compression.
+func (b *Builder) NewCompiler(eraseUnusedTags bool) *policy.Compiler {
+	universe := b.fullUniverse
+	if eraseUnusedTags {
+		universe = b.erasedUniverse
+	}
+	c := policy.NewCompiler(universe)
+	b.mu.Lock()
+	b.register(c)
+	b.mu.Unlock()
+	return c
+}
+
+// register attaches a fresh cache to comp, evicting the oldest registration
+// past the bound. Callers hold b.mu.
+func (b *Builder) register(comp *policy.Compiler) *compilerCache {
+	cc := newCompilerCache()
+	b.compCaches[comp] = cc
+	b.compOrder = append(b.compOrder, comp)
+	for len(b.compOrder) > maxCompilerCaches {
+		old := b.compOrder[0]
+		b.compOrder = b.compOrder[1:]
+		delete(b.compCaches, old)
+	}
+	return cc
+}
+
+// cacheFor returns the canonical-relation cache attached to comp, creating
+// one for foreign compilers (not obtained via NewCompiler) or for
+// registrations that have been evicted.
+func (b *Builder) cacheFor(comp *policy.Compiler) *compilerCache {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cc, ok := b.compCaches[comp]
+	if !ok {
+		cc = b.register(comp)
+	}
+	return cc
+}
+
+// destOf resolves the destination vertex of a class. Classes always carry at
+// least one origin; anycast classes (several origins) are modelled from
+// their first origin, which is the only form the evaluation networks use.
+func (b *Builder) destOf(cls ec.Class) (topo.NodeID, error) {
+	if len(cls.Origins) == 0 {
+		return 0, fmt.Errorf("build: class %v has no origin router", cls.Prefix)
+	}
+	dest, ok := b.G.Lookup(cls.Origins[0])
+	if !ok {
+		return 0, fmt.Errorf("build: class %v origin %q is not a router", cls.Prefix, cls.Origins[0])
+	}
+	return dest, nil
+}
+
+// staticEdges returns the directed edges (u, v) on which u has a static
+// route applicable to the class: its prefix covers the class prefix (equal
+// or shorter, so the class's addresses fall under it) and points via v.
+//
+// Limitation: the class partition (internal/ec) splits the address space on
+// originated prefixes only, so a static route strictly finer than its class
+// prefix would govern only part of the class's range and is excluded here
+// rather than modelled per sub-range. Configurations from the generators
+// never contain such statics (theirs are exact originated prefixes or
+// defaults); hand-written ones that do will see those statics ignored.
+func (b *Builder) staticEdges(cls ec.Class) map[topo.Edge]bool {
+	out := make(map[topo.Edge]bool)
+	for u, r := range b.routers {
+		for _, s := range r.Statics {
+			if !staticCovers(s.Prefix, cls.Prefix) {
+				continue
+			}
+			if v, ok := b.G.Lookup(s.NextHop); ok {
+				out[topo.Edge{U: topo.NodeID(u), V: v}] = true
+			}
+		}
+	}
+	return out
+}
+
+// staticCovers reports whether a static route for sp governs the class
+// prefix: equal or shorter, with the class's addresses under it.
+func staticCovers(sp, cls netip.Prefix) bool {
+	sp = sp.Masked()
+	return sp.Bits() <= cls.Bits() && sp.Contains(cls.Addr())
+}
+
+// aclPermit reports whether traffic for the class may be forwarded by u out
+// the interface toward v (paper §6: ACLs filter traffic, not routes).
+func (b *Builder) aclPermit(u, v topo.NodeID, cls ec.Class) bool {
+	r := b.routers[u]
+	name := r.IfaceACL[b.G.Name(v)]
+	if name == "" {
+		return true
+	}
+	return r.Env.ACLPermits(name, cls.Prefix)
+}
+
+// ACLPermitFunc returns the dataplane ACL verdict function for the concrete
+// network and one destination class.
+func (b *Builder) ACLPermitFunc(cls ec.Class) func(u, v topo.NodeID) bool {
+	return func(u, v topo.NodeID) bool { return b.aclPermit(u, v, cls) }
+}

@@ -1,0 +1,271 @@
+// Canonical edge keys: the per-edge transfer-function signatures consumed by
+// the refinement loop (paper §5.1). BGP policies are compiled to canonical
+// BDD relations so that policy equivalence is a handle comparison; the
+// scalar protocol parts (OSPF cost/area, statics, redistribution, ACL
+// verdicts) are folded in alongside.
+
+package build
+
+import (
+	"net/netip"
+	"strings"
+
+	"bonsai/internal/bdd"
+	"bonsai/internal/core"
+	"bonsai/internal/ec"
+	"bonsai/internal/policy"
+	"bonsai/internal/protocols"
+	"bonsai/internal/topo"
+)
+
+// relEntry is one cached edge-policy compilation.
+type relEntry struct {
+	rel   bdd.Node
+	drops bool
+}
+
+// relKey identifies an edge-policy compilation across both edges and
+// destination classes: the composed relation is fully determined by the two
+// route maps (identified by their namespace pointer plus name; a nil env
+// marks the empty identity map), the session kind, and the prefix-list match
+// outcomes against the class prefix. Symmetric edges carrying the same
+// policy pair share one compilation, and across classes the same fingerprint
+// shares it again — the amortisation the paper relies on when compressing
+// ~1.3k classes of one network (§8).
+type relKey struct {
+	expEnv *policy.Env
+	expMap string
+	impEnv *policy.Env
+	impMap string
+	ibgp   bool
+	fp     string
+}
+
+// synthKey identifies a composite policy signature: the BDD relation of the
+// session plus the sender's redistribution behavior, which is part of the
+// edge's transfer function (§6) but has no BDD encoding of its own.
+type synthKey struct {
+	rel          bdd.Node
+	redistOSPF   bool
+	redistStatic bool
+}
+
+// compilerCache holds the canonical tables attached to one policy.Compiler.
+// A compiler is single-goroutine by contract, so the cache needs no lock of
+// its own; only the Builder's compiler->cache map is mutex-guarded.
+type compilerCache struct {
+	rels  map[relKey]relEntry
+	synth map[synthKey]bdd.Node
+	// nextSynth allocates composite signature handles from the negative
+	// range, which real BDD nodes (non-negative manager indices) never use,
+	// so composites and plain relations can share EdgeKey.BGPRel.
+	nextSynth bdd.Node
+}
+
+func newCompilerCache() *compilerCache {
+	return &compilerCache{
+		rels:  make(map[relKey]relEntry),
+		synth: make(map[synthKey]bdd.Node),
+	}
+}
+
+// withRedist maps a relation to the canonical composite signature for the
+// sender's redistribution flags. Identity when nothing is redistributed.
+func (cc *compilerCache) withRedist(rel bdd.Node, ospf, static bool) bdd.Node {
+	if !ospf && !static {
+		return rel
+	}
+	k := synthKey{rel, ospf, static}
+	if n, ok := cc.synth[k]; ok {
+		return n
+	}
+	cc.nextSynth--
+	cc.synth[k] = cc.nextSynth
+	return cc.nextSynth
+}
+
+// prefixFingerprint renders the outcome of every prefix-list match a route
+// map can perform against pfx. Together with the edge identity it uniquely
+// determines the compiled relation, letting compilations be shared across
+// destination classes.
+func prefixFingerprint(sb *strings.Builder, env *policy.Env, mapName string, pfx netip.Prefix) {
+	if mapName == "" {
+		sb.WriteByte('-')
+		return
+	}
+	rm := env.RouteMaps[mapName]
+	if rm == nil {
+		sb.WriteByte('?')
+		return
+	}
+	for i := range rm.Clauses {
+		for _, m := range rm.Clauses[i].Matches {
+			if m.Kind != policy.MatchPrefix {
+				continue
+			}
+			if l, ok := env.PrefixLists[m.Arg]; ok && l.Matches(pfx) {
+				sb.WriteByte('1')
+			} else {
+				sb.WriteByte('0')
+			}
+		}
+	}
+}
+
+// edgeRelation compiles (or recalls) the canonical BGP relation of a
+// session for the class prefix: v's export map composed with u's import map.
+func (b *Builder) edgeRelation(comp *policy.Compiler, cc *compilerCache, sess bgpSession, pfx netip.Prefix) relEntry {
+	var fp strings.Builder
+	prefixFingerprint(&fp, sess.expEnv, sess.expMap, pfx)
+	fp.WriteByte('|')
+	prefixFingerprint(&fp, sess.impEnv, sess.impMap, pfx)
+	k := relKey{
+		expEnv: sess.expEnv, expMap: sess.expMap,
+		impEnv: sess.impEnv, impMap: sess.impMap,
+		ibgp: sess.ibgp, fp: fp.String(),
+	}
+	if k.expMap == "" {
+		k.expEnv = nil // the identity map is namespace-independent
+	}
+	if k.impMap == "" {
+		k.impEnv = nil
+	}
+	if ent, ok := cc.rels[k]; ok {
+		return ent
+	}
+	var rel bdd.Node
+	if sess.ibgp {
+		rel = comp.CompileEdge(sess.expEnv, sess.expMap, sess.impEnv, sess.impMap, pfx)
+	} else {
+		rel = comp.CompileEdgeEBGP(sess.expEnv, sess.expMap, sess.impEnv, sess.impMap, pfx)
+	}
+	ent := relEntry{rel: rel, drops: comp.AlwaysDrops(rel)}
+	cc.rels[k] = ent
+	return ent
+}
+
+// EdgeKeyFunc returns the canonical edge-signature function for one
+// destination class, backed by comp's BDD manager and its cross-class
+// relation cache. The returned function must only be used from the
+// goroutine owning comp.
+func (b *Builder) EdgeKeyFunc(comp *policy.Compiler, cls ec.Class) func(u, v topo.NodeID) core.EdgeKey {
+	cc := b.cacheFor(comp)
+	statics := b.staticEdges(cls)
+	return func(u, v topo.NodeID) core.EdgeKey {
+		e := topo.Edge{U: u, V: v}
+		var k core.EdgeKey
+		if sess, ok := b.bgpSess[e]; ok {
+			ent := b.edgeRelation(comp, cc, sess, cls.Prefix)
+			if !ent.drops {
+				k.BGP = true
+				k.IBGP = sess.ibgp
+				k.BGPRel = cc.withRedist(ent.rel, sess.redistOSPF, sess.redistStatic)
+			}
+		}
+		if adj, ok := b.ospfAdj[e]; ok {
+			k.OSPF = true
+			k.OSPFCost = adj.cost
+			k.OSPFCross = adj.cross
+		}
+		k.Static = statics[e]
+		k.ACLPermit = b.aclPermit(u, v, cls)
+		return k
+	}
+}
+
+// PrefsFunc returns prefs(u) for the class: the number of distinct BGP
+// local-preference values node u can hold for this destination (Theorem
+// 4.4's case-splitting bound). Because LOCAL_PREF is reset across eBGP
+// sessions, the bound over eBGP is exactly the values settable by u's own
+// import maps, plus the default whenever some session can deliver a route
+// without overriding it. On iBGP sessions the sender's preference crosses:
+// its export-map values count, and — since iBGP-learned routes are not
+// re-advertised over iBGP (§6), so the sender's own preference is either
+// import-assigned on an eBGP session or the default — a one-hop closure
+// over the sender's eBGP import maps completes the bound without recursion.
+func (b *Builder) PrefsFunc(cls ec.Class) func(u topo.NodeID) int {
+	prefs := make([]int, b.G.NumNodes())
+	for _, u := range b.G.Nodes() {
+		vals := make(map[uint32]bool)
+		passthrough := false
+		for _, v := range b.G.Succ(u) {
+			sess, ok := b.bgpSess[topo.Edge{U: u, V: v}]
+			if !ok {
+				continue
+			}
+			sess.impEnv.LocalPrefValues(sess.impMap, cls.Prefix, vals)
+			if !sess.impEnv.LocalPrefPassesThrough(sess.impMap, cls.Prefix) {
+				continue
+			}
+			if !sess.ibgp {
+				// eBGP: the import stage saw the default preference.
+				passthrough = true
+				continue
+			}
+			// iBGP: the export stage's value survives the session.
+			sess.expEnv.LocalPrefValues(sess.expMap, cls.Prefix, vals)
+			if !sess.expEnv.LocalPrefPassesThrough(sess.expMap, cls.Prefix) {
+				continue
+			}
+			// The sender's RIB preference crosses untouched: union what its
+			// own eBGP import maps can assign (iBGP-learned routes are not
+			// re-advertised, and an originated route holds the default).
+			senderDefault := false
+			for _, w := range b.G.Succ(v) {
+				s2, ok := b.bgpSess[topo.Edge{U: v, V: w}]
+				if !ok || s2.ibgp {
+					continue
+				}
+				s2.impEnv.LocalPrefValues(s2.impMap, cls.Prefix, vals)
+				if s2.impEnv.LocalPrefPassesThrough(s2.impMap, cls.Prefix) {
+					senderDefault = true
+				}
+			}
+			if senderDefault || originates(cls, b.G.Name(v)) {
+				passthrough = true
+			}
+		}
+		if passthrough {
+			vals[protocols.DefaultLocalPref] = true
+		}
+		n := len(vals)
+		if n < 1 {
+			n = 1
+		}
+		prefs[u] = n
+	}
+	return func(u topo.NodeID) int { return prefs[u] }
+}
+
+// originates reports whether the named router is an origin of the class.
+func originates(cls ec.Class, name string) bool {
+	for _, o := range cls.Origins {
+		if o == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Compress runs the full per-class pipeline (Algorithm 1): canonical edge
+// keys from comp's BDD tables, abstraction refinement, and — when the
+// network runs BGP — ∀∀ strengthening plus local-preference case splitting.
+// Concurrent calls with distinct compilers are safe; the BDD relation cache
+// is per-compiler, so parallel workers amortise compilation independently
+// while sharing every other Builder table read-only.
+func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+	dest, err := b.destOf(cls)
+	if err != nil {
+		return nil, err
+	}
+	mode := core.ModeEffective
+	if b.hasBGP {
+		mode = core.ModeBGP
+	}
+	abs := core.FindAbstraction(b.G, dest, core.Options{
+		Mode:    mode,
+		EdgeKey: b.EdgeKeyFunc(comp, cls),
+		Prefs:   b.PrefsFunc(cls),
+	})
+	return abs, nil
+}

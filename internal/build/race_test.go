@@ -1,0 +1,99 @@
+package build
+
+import (
+	"sync"
+	"testing"
+
+	"bonsai/internal/netgen"
+)
+
+// TestParallelCompress drives the concurrency contract under the race
+// detector: one shared Builder, one compiler per worker, all destination
+// classes compressed by every worker simultaneously. Results must agree
+// with a sequential pass bit for bit (abstract sizes are deterministic).
+func TestParallelCompress(t *testing.T) {
+	b, err := New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := b.Classes()
+
+	wantNodes := make([]int, len(classes))
+	wantEdges := make([]int, len(classes))
+	seq := b.NewCompiler(true)
+	for i, cls := range classes {
+		abs, err := b.Compress(seq, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantNodes[i], wantEdges[i] = abs.NumAbstractNodes(), abs.NumAbstractEdges()
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			comp := b.NewCompiler(true)
+			for i, cls := range classes {
+				abs, err := b.Compress(comp, cls)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if abs.NumAbstractNodes() != wantNodes[i] || abs.NumAbstractEdges() != wantEdges[i] {
+					t.Errorf("class %v: parallel abstraction %d/%d, sequential %d/%d",
+						cls.Prefix, abs.NumAbstractNodes(), abs.NumAbstractEdges(), wantNodes[i], wantEdges[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestParallelMixedOperations exercises the remaining shared surfaces —
+// Classes, RoleCount, PrefsFunc, instance construction — concurrently with
+// compression, again for the race detector.
+func TestParallelMixedOperations(t *testing.T) {
+	b, err := New(netgen.Datacenter(netgen.DCOptions{
+		Clusters: 2, SpinesPerClus: 2, LeavesPerClus: 3, Cores: 2, Borders: 1,
+		PrefixesPerLeaf: 2, VirtualIfaces: 2, StaticPatterns: 3, TagGroups: 3,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			comp := b.NewCompiler(w%2 == 0)
+			classes := b.Classes()
+			cls := classes[w%len(classes)]
+			abs, err := b.Compress(comp, cls)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := b.Instance(cls); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := b.AbstractInstance(cls, abs); err != nil {
+				t.Error(err)
+				return
+			}
+			b.RoleCount(true, w%2 == 0)
+			b.PrefsFunc(cls)
+			b.ACLPermitFunc(cls)(0, 1)
+		}(w)
+	}
+	wg.Wait()
+}

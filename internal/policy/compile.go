@@ -205,10 +205,25 @@ func (c *Compiler) CompileRouteMap(env *Env, name string, pfx netip.Prefix) bdd.
 // CompileEdge compiles the full BGP transfer policy of an SRP edge
 // (u learns from v): v's export route map followed by u's import route map,
 // as one composed relation. Two edges are policy-equivalent for this
-// destination iff their CompileEdge results are equal.
+// destination iff their CompileEdge results are equal. This form matches
+// iBGP sessions, where local preference crosses the session untouched.
 func (c *Compiler) CompileEdge(exportEnv *Env, exportMap string, importEnv *Env, importMap string, pfx netip.Prefix) bdd.Node {
 	st := c.initialState()
 	st = c.evalRouteMap(exportEnv, exportMap, pfx, st)
+	st = c.evalRouteMap(importEnv, importMap, pfx, st)
+	return c.relation(st)
+}
+
+// CompileEdgeEBGP compiles the transfer policy of an eBGP edge: like
+// CompileEdge, but with the local preference reset to the default between
+// the export and import stages, mirroring that LOCAL_PREF is not transitive
+// across eBGP sessions. Keys built from the plain composition would be
+// unsound here: two edges whose compositions agree under preference
+// passthrough can differ once the export stage's preference is discarded.
+func (c *Compiler) CompileEdgeEBGP(exportEnv *Env, exportMap string, importEnv *Env, importMap string, pfx netip.Prefix) bdd.Node {
+	st := c.initialState()
+	st = c.evalRouteMap(exportEnv, exportMap, pfx, st)
+	st.lp = c.M.ConstVec(uint64(protocols.DefaultLocalPref), LPBits)
 	st = c.evalRouteMap(importEnv, importMap, pfx, st)
 	return c.relation(st)
 }

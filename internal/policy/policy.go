@@ -245,10 +245,23 @@ func (env *Env) EvalRouteMap(name string, pfx netip.Prefix, a *protocols.BGPAttr
 	return nil // implicit deny
 }
 
+// clauseReachableForPrefix reports whether the clause's prefix matches allow
+// it to fire for routes to pfx. Community matches are input-dependent, so
+// they are assumed satisfiable.
+func (env *Env) clauseReachableForPrefix(cl *Clause, pfx netip.Prefix) bool {
+	for _, m := range cl.Matches {
+		if m.Kind == MatchPrefix {
+			if l, ok := env.PrefixLists[m.Arg]; !ok || !l.Matches(pfx) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // LocalPrefValues returns the set of local-preference values the named route
 // map may assign to a route for pfx, considering only clauses whose prefix
-// matches are satisfied (community matches are input-dependent, so they are
-// assumed reachable). This implements prefs(v) of Theorem 4.4.
+// matches are satisfied. This implements prefs(v) of Theorem 4.4.
 func (env *Env) LocalPrefValues(name string, pfx netip.Prefix, into map[uint32]bool) {
 	if name == "" {
 		return
@@ -259,19 +272,7 @@ func (env *Env) LocalPrefValues(name string, pfx netip.Prefix, into map[uint32]b
 	}
 	for i := range rm.Clauses {
 		cl := &rm.Clauses[i]
-		if cl.Action == Deny {
-			continue
-		}
-		reachable := true
-		for _, m := range cl.Matches {
-			if m.Kind == MatchPrefix {
-				if l, ok := env.PrefixLists[m.Arg]; !ok || !l.Matches(pfx) {
-					reachable = false
-					break
-				}
-			}
-		}
-		if !reachable {
+		if cl.Action == Deny || !env.clauseReachableForPrefix(cl, pfx) {
 			continue
 		}
 		for _, s := range cl.Sets {
@@ -280,6 +281,37 @@ func (env *Env) LocalPrefValues(name string, pfx netip.Prefix, into map[uint32]b
 			}
 		}
 	}
+}
+
+// LocalPrefPassesThrough reports whether the named route map can permit a
+// route to pfx without setting its local preference, so the incoming value
+// survives. An empty name is the identity and always passes through; it is
+// the companion predicate to LocalPrefValues for computing prefs(v).
+func (env *Env) LocalPrefPassesThrough(name string, pfx netip.Prefix) bool {
+	if name == "" {
+		return true
+	}
+	rm, ok := env.RouteMaps[name]
+	if !ok {
+		panic(fmt.Sprintf("policy: unknown route map %q", name))
+	}
+	for i := range rm.Clauses {
+		cl := &rm.Clauses[i]
+		if cl.Action == Deny || !env.clauseReachableForPrefix(cl, pfx) {
+			continue
+		}
+		setsLP := false
+		for _, s := range cl.Sets {
+			if s.Kind == SetLocalPref {
+				setsLP = true
+				break
+			}
+		}
+		if !setsLP {
+			return true
+		}
+	}
+	return false
 }
 
 // ACLPermits evaluates the named ACL against a destination prefix; an empty

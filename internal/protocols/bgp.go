@@ -229,6 +229,11 @@ func (p *BGP) Transfer(e topo.Edge, x srp.Attr) srp.Attr {
 	} else {
 		next.Path = append([]topo.NodeID{e.V}, next.Path...)
 		next.FromIBGP = false
+		// LOCAL_PREF is not transitive across eBGP sessions: the receiver
+		// starts from the default and only its own import policy may change
+		// it. This also makes Theorem 4.4's prefs(v) bound — the values v's
+		// own policies can assign — exact for eBGP.
+		next.LP = DefaultLocalPref
 	}
 	if p.Import != nil {
 		out := p.Import(e, next)

@@ -58,6 +58,22 @@ func TestAllPairsParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+func TestAllPairsBonsaiParallelMatchesSequential(t *testing.T) {
+	b := fattree4(t)
+	seq, err := AllPairsBonsai(b, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := AllPairsBonsai(b, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Pairs != par.Pairs || seq.ReachablePairs != par.ReachablePairs ||
+		seq.AbstractNodeSum != par.AbstractNodeSum {
+		t.Fatalf("parallel bonsai run diverged: seq=%v par=%v", seq, par)
+	}
+}
+
 func TestMaxClasses(t *testing.T) {
 	b := fattree4(t)
 	r, err := AllPairsConcrete(b, Options{MaxClasses: 3, Workers: 1})
