@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"bonsai/internal/benchrun"
 	"bonsai/internal/build"
 	"bonsai/internal/config"
 	"bonsai/internal/core"
@@ -21,47 +22,28 @@ import (
 	"bonsai/internal/verify"
 )
 
-// benchCompress measures per-EC compression on a network, reporting the
-// abstract sizes as metrics (Table 1 columns).
+// benchCompress measures compression of a class sample, total per
+// iteration, with the cross-EC dedup cache active (reset each iteration);
+// abstract sizes are reported as metrics (Table 1 columns). The shared
+// definition lives in internal/benchrun so cmd/bonsai-bench measures the
+// same thing.
 func benchCompress(b *testing.B, net *config.Network, sampleECs int) {
-	bd, err := build.New(net)
-	if err != nil {
-		b.Fatal(err)
-	}
-	classes := bd.Classes()
-	if sampleECs > 0 && len(classes) > sampleECs {
-		classes = classes[:sampleECs]
-	}
-	comp := bd.NewCompiler(true)
-	// Warm BDD tables (the paper reports BDD build time separately).
-	if _, err := bd.Compress(comp, classes[0]); err != nil {
-		b.Fatal(err)
-	}
-	var absNodes, absLinks int
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cls := classes[i%len(classes)]
-		abs, err := bd.Compress(comp, cls)
-		if err != nil {
-			b.Fatal(err)
-		}
-		absNodes, absLinks = abs.NumAbstractNodes(), abs.NumAbstractEdges()
-	}
-	b.StopTimer()
-	b.ReportMetric(float64(absNodes), "absNodes")
-	b.ReportMetric(float64(absLinks), "absLinks")
-	b.ReportMetric(float64(bd.G.NumNodes())/float64(absNodes), "nodeRatio")
+	benchrun.CompressSet(func() *config.Network { return net }, sampleECs, true)(b)
 }
 
 // BenchmarkTable1aFattree regenerates the Fattree rows of Table 1(a):
 // 180/500/1125 concrete nodes all compress to 6 abstract nodes and 5 links
-// per destination class (72/200/450 classes).
+// per destination class (72/200/450 classes). Each iteration compresses the
+// FULL class set; the dedup sub-benchmark exercises the cross-EC cache
+// (identity + symmetry transport, reset per iteration) and the independent
+// sub-benchmark compresses every class from scratch — their ratio is the
+// dedup speedup on total work (≥5x).
 func BenchmarkTable1aFattree(b *testing.B) {
 	for _, k := range []int{12, 20, 30} {
 		k := k
-		b.Run(fmt.Sprintf("nodes=%d", 5*k*k/4), func(b *testing.B) {
-			benchCompress(b, netgen.Fattree(k, netgen.PolicyShortestPath), 8)
-		})
+		gen := func() *config.Network { return netgen.Fattree(k, netgen.PolicyShortestPath) }
+		b.Run(fmt.Sprintf("nodes=%d/dedup", 5*k*k/4), benchrun.CompressSet(gen, 0, true))
+		b.Run(fmt.Sprintf("nodes=%d/independent", 5*k*k/4), benchrun.CompressSet(gen, 0, false))
 	}
 }
 
@@ -76,6 +58,13 @@ func BenchmarkTable1aRing(b *testing.B) {
 			benchCompress(b, netgen.Ring(n), 2)
 		})
 	}
+}
+
+// BenchmarkTable1aRingFullSet compresses every ring class per iteration with
+// dedup: rotations make all n classes symmetric, so one refinement run plus
+// n-1 transports covers the network.
+func BenchmarkTable1aRingFullSet(b *testing.B) {
+	b.Run("nodes=100", benchrun.CompressSet(func() *config.Network { return netgen.Ring(100) }, 0, true))
 }
 
 // BenchmarkTable1aMesh regenerates the Full Mesh rows of Table 1(a): any
@@ -135,28 +124,10 @@ func BenchmarkFigure11(b *testing.B) {
 }
 
 // benchFig12 measures one Figure 12 point: all-pairs reachability with
-// per-query certification, concrete vs compressed.
+// per-query certification, concrete vs compressed (shared with
+// cmd/bonsai-bench via internal/benchrun).
 func benchFig12(b *testing.B, net *config.Network, bonsai bool, maxClasses int) {
-	bd, err := build.New(net)
-	if err != nil {
-		b.Fatal(err)
-	}
-	opts := verify.Options{MaxClasses: maxClasses, Workers: 1, PerPairCertification: true}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		var res *verify.Result
-		if bonsai {
-			res, err = verify.AllPairsBonsai(bd, opts)
-		} else {
-			res, err = verify.AllPairsConcrete(bd, opts)
-		}
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.ReachablePairs != res.Pairs {
-			b.Fatalf("reachability regression: %v", res)
-		}
-	}
+	benchrun.Fig12(func() *config.Network { return net }, bonsai, maxClasses)(b)
 }
 
 // BenchmarkFigure12Fattree regenerates Figure 12(a): verification time vs
@@ -275,7 +246,7 @@ func BenchmarkAblationSharedCompiler(b *testing.B) {
 		comp := bd.NewCompiler(true)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := bd.Compress(comp, classes[i%len(classes)]); err != nil {
+			if _, err := bd.CompressFresh(comp, classes[i%len(classes)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -283,7 +254,7 @@ func BenchmarkAblationSharedCompiler(b *testing.B) {
 	b.Run("fresh-per-class", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			comp := bd.NewCompiler(true)
-			if _, err := bd.Compress(comp, classes[i%len(classes)]); err != nil {
+			if _, err := bd.CompressFresh(comp, classes[i%len(classes)]); err != nil {
 				b.Fatal(err)
 			}
 		}

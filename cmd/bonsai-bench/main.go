@@ -1,0 +1,105 @@
+// Command bonsai-bench runs the paper's benchmark suite (Table 1, Figure 12,
+// hot-path micro-benchmarks; see internal/benchrun) outside `go test` and
+// writes the results as JSON, establishing a comparable performance baseline
+// per commit.
+//
+//	bonsai-bench -out BENCH_compress.json            # full suite
+//	bonsai-bench -smoke -out bench-smoke.json        # CI smoke run
+//	bonsai-bench -filter 'fattree' -out /dev/stdout  # one family
+//
+// Compare two baselines by diffing the ns_per_op / metrics fields of equally
+// named cases; metric names match what `go test -bench` prints.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"bonsai/internal/benchrun"
+)
+
+// caseResult is one benchmark case in the JSON output.
+type caseResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// report is the top-level JSON document.
+type report struct {
+	Generated string       `json:"generated"`
+	GoVersion string       `json:"go_version"`
+	GOARCH    string       `json:"goarch"`
+	NumCPU    int          `json:"num_cpu"`
+	Smoke     bool         `json:"smoke"`
+	Cases     []caseResult `json:"cases"`
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "run the reduced CI suite")
+	out := flag.String("out", "BENCH_compress.json", "output JSON path")
+	filter := flag.String("filter", "", "only run cases matching this regexp")
+	flag.Parse()
+
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "bonsai-bench: bad -filter:", err)
+			os.Exit(2)
+		}
+	}
+
+	rep := report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Smoke:     *smoke,
+	}
+	for _, c := range benchrun.Cases(*smoke) {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-50s ", c.Name)
+		start := time.Now()
+		r := testing.Benchmark(c.F)
+		cr := caseResult{
+			Name:        c.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			cr.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				cr.Metrics[k] = v
+			}
+		}
+		rep.Cases = append(rep.Cases, cr)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  (n=%d, wall %v)\n",
+			cr.NsPerOp, r.N, time.Since(start).Round(time.Millisecond))
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d cases)\n", *out, len(rep.Cases))
+}

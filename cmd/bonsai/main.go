@@ -158,6 +158,9 @@ func cmdCompress(args []string) error {
 		float64(sumNodes)/nc, float64(sumEdges)/nc,
 		float64(b.G.NumNodes())*nc/float64(sumNodes),
 		float64(b.G.NumLinks())*nc/float64(sumEdges))
+	fresh, transported, served := b.AbstractionCacheStats()
+	fmt.Printf("dedup: %d compressed fresh, %d transported by symmetry, %d served from cache (of %d classes)\n",
+		fresh, transported, served, len(classes))
 	fmt.Printf("time: bdd setup %v, compression %v total (%v per class)\n",
 		bddSetup.Round(time.Millisecond), elapsed.Round(time.Millisecond),
 		(elapsed / time.Duration(len(classes))).Round(time.Microsecond))

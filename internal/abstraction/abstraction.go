@@ -52,7 +52,11 @@ func (c *Checker) CheckForallExists() error {
 			for _, cv := range a.Copies[a.F[e.V]] {
 				if a.AbsG.HasEdge(cu, cv) {
 					found = true
+					break
 				}
+			}
+			if found {
+				break
 			}
 		}
 		if !found {

@@ -8,6 +8,13 @@
 // (Bryant 1986, Brace-Rudell-Bryant 1990) built only on the standard library.
 // A Manager owns all nodes; Node values are indices into the manager and are
 // only meaningful together with the manager that produced them.
+//
+// Operation results are memoised in fixed-size, power-of-two, open-addressed
+// caches in the style of Brace-Rudell-Bryant: each slot holds one entry and a
+// colliding insert simply overwrites it. Lossy caching never affects
+// correctness (the structural recursion terminates and recomputes on a miss)
+// but removes the map overhead — hashing, bucket chasing and incremental
+// growth — from the hot path, and keeps probes to a single cache line.
 package bdd
 
 import "fmt"
@@ -40,23 +47,43 @@ type Manager struct {
 	buckets []int32 // unique table: hash -> first node index in chain
 	mask    uint32
 
-	ite     map[iteKey]Node
-	apply2  map[apply2Key]Node
-	unary   map[unaryKey]Node
-	satmemo map[Node]float64
+	ite    []iteEntry
+	apply2 []applyEntry
+	unary  []unaryEntry
+	sat    []satEntry
 }
 
-type iteKey struct{ f, g, h Node }
+// Cache geometry. Sizes are fixed (lossy caches never grow); powers of two
+// keep the index computation a mask. The binary/ITE caches dominate and get
+// the largest tables; entries are 16 bytes, so the total is ~2.3 MiB per
+// Manager.
+const (
+	iteCacheBits   = 16
+	applyCacheBits = 16
+	unaryCacheBits = 14
+	satCacheBits   = 13
+)
 
-type apply2Key struct {
+// iteEntry caches ITE(f, g, h) = r. f < 0 marks an empty slot.
+type iteEntry struct{ f, g, h, r Node }
+
+// applyEntry caches op(a, b) = r. a < 0 marks an empty slot.
+type applyEntry struct {
+	a, b, r Node
+	op      uint8
+}
+
+// unaryEntry caches op(a, arg) = r. a < 0 marks an empty slot.
+type unaryEntry struct {
+	a, r Node
+	arg  int32
 	op   uint8
-	a, b Node
 }
 
-type unaryKey struct {
-	op  uint8
-	a   Node
-	arg int32
+// satEntry caches satCountRec(n) = c. n < 0 marks an empty slot.
+type satEntry struct {
+	n Node
+	c float64
 }
 
 const (
@@ -76,11 +103,23 @@ func New(numVars int) *Manager {
 		panic("bdd: negative variable count")
 	}
 	m := &Manager{
-		nvars:   int32(numVars),
-		ite:     make(map[iteKey]Node),
-		apply2:  make(map[apply2Key]Node),
-		unary:   make(map[unaryKey]Node),
-		satmemo: make(map[Node]float64),
+		nvars:  int32(numVars),
+		ite:    make([]iteEntry, 1<<iteCacheBits),
+		apply2: make([]applyEntry, 1<<applyCacheBits),
+		unary:  make([]unaryEntry, 1<<unaryCacheBits),
+		sat:    make([]satEntry, 1<<satCacheBits),
+	}
+	for i := range m.ite {
+		m.ite[i].f = -1
+	}
+	for i := range m.apply2 {
+		m.apply2[i].a = -1
+	}
+	for i := range m.unary {
+		m.unary[i].a = -1
+	}
+	for i := range m.sat {
+		m.sat[i].n = -1
 	}
 	const initialBuckets = 1 << 12
 	m.buckets = make([]int32, initialBuckets)
@@ -107,6 +146,15 @@ func (m *Manager) hash(level int32, lo, hi Node) uint32 {
 	h := uint32(level)*0x9e3779b1 ^ uint32(lo)*0x85ebca6b ^ uint32(hi)*0xc2b2ae35
 	h ^= h >> 16
 	return h & m.mask
+}
+
+// mix3 scrambles an operand triple into a cache index seed.
+func mix3(a, b, c Node) uint32 {
+	h := uint32(a)*0x9e3779b1 ^ uint32(b)*0x85ebca6b ^ uint32(c)*0xc2b2ae35
+	h ^= h >> 15
+	h *= 0x2c1b3c6d
+	h ^= h >> 12
+	return h
 }
 
 func (m *Manager) rehash() {
@@ -188,13 +236,13 @@ func (m *Manager) Not(a Node) Node {
 	case True:
 		return False
 	}
-	k := unaryKey{op: opNot, a: a}
-	if r, ok := m.unary[k]; ok {
-		return r
+	e := &m.unary[mix3(a, Node(opNot), 0)&(1<<unaryCacheBits-1)]
+	if e.a == a && e.op == opNot && e.arg == 0 {
+		return e.r
 	}
 	n := m.nodes[a]
 	r := m.mk(n.level, m.Not(n.lo), m.Not(n.hi))
-	m.unary[k] = r
+	*e = unaryEntry{a: a, r: r, arg: 0, op: opNot}
 	return r
 }
 
@@ -213,13 +261,7 @@ func (m *Manager) And(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	k := apply2Key{op: opAnd, a: a, b: b}
-	if r, ok := m.apply2[k]; ok {
-		return r
-	}
-	r := m.applyRec(opAnd, a, b)
-	m.apply2[k] = r
-	return r
+	return m.applyCached(opAnd, a, b)
 }
 
 // Or returns the disjunction of a and b.
@@ -237,13 +279,7 @@ func (m *Manager) Or(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	k := apply2Key{op: opOr, a: a, b: b}
-	if r, ok := m.apply2[k]; ok {
-		return r
-	}
-	r := m.applyRec(opOr, a, b)
-	m.apply2[k] = r
-	return r
+	return m.applyCached(opOr, a, b)
 }
 
 // Xor returns the exclusive-or of a and b.
@@ -263,12 +299,17 @@ func (m *Manager) Xor(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	k := apply2Key{op: opXor, a: a, b: b}
-	if r, ok := m.apply2[k]; ok {
-		return r
+	return m.applyCached(opXor, a, b)
+}
+
+// applyCached consults the lossy binary-operation cache before recursing.
+func (m *Manager) applyCached(op uint8, a, b Node) Node {
+	e := &m.apply2[mix3(a, b, Node(op))&(1<<applyCacheBits-1)]
+	if e.a == a && e.b == b && e.op == op {
+		return e.r
 	}
-	r := m.applyRec(opXor, a, b)
-	m.apply2[k] = r
+	r := m.applyRec(op, a, b)
+	*e = applyEntry{a: a, b: b, r: r, op: op}
 	return r
 }
 
@@ -320,9 +361,9 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	case g == False && h == True:
 		return m.Not(f)
 	}
-	k := iteKey{f, g, h}
-	if r, ok := m.ite[k]; ok {
-		return r
+	e := &m.ite[mix3(f, g, h)&(1<<iteCacheBits-1)]
+	if e.f == f && e.g == g && e.h == h {
+		return e.r
 	}
 	nf, ng, nh := m.nodes[f], m.nodes[g], m.nodes[h]
 	level := nf.level
@@ -345,7 +386,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 		hlo, hhi = nh.lo, nh.hi
 	}
 	r := m.mk(level, m.ITE(flo, glo, hlo), m.ITE(fhi, ghi, hhi))
-	m.ite[k] = r
+	*e = iteEntry{f: f, g: g, h: h, r: r}
 	return r
 }
 
@@ -362,9 +403,9 @@ func (m *Manager) Restrict(n Node, v int, val bool) Node {
 	if val {
 		op = opRestrictT
 	}
-	k := unaryKey{op: op, a: n, arg: int32(v)}
-	if r, ok := m.unary[k]; ok {
-		return r
+	e := &m.unary[mix3(n, Node(op), Node(v))&(1<<unaryCacheBits-1)]
+	if e.a == n && e.op == op && e.arg == int32(v) {
+		return e.r
 	}
 	var r Node
 	if nn.level == int32(v) {
@@ -376,7 +417,7 @@ func (m *Manager) Restrict(n Node, v int, val bool) Node {
 	} else {
 		r = m.mk(nn.level, m.Restrict(nn.lo, v, val), m.Restrict(nn.hi, v, val))
 	}
-	m.unary[k] = r
+	*e = unaryEntry{a: n, r: r, arg: int32(v), op: op}
 	return r
 }
 
@@ -389,9 +430,9 @@ func (m *Manager) Exists(n Node, v int) Node {
 	if nn.level > int32(v) {
 		return n
 	}
-	k := unaryKey{op: opExists, a: n, arg: int32(v)}
-	if r, ok := m.unary[k]; ok {
-		return r
+	e := &m.unary[mix3(n, Node(opExists), Node(v))&(1<<unaryCacheBits-1)]
+	if e.a == n && e.op == opExists && e.arg == int32(v) {
+		return e.r
 	}
 	var r Node
 	if nn.level == int32(v) {
@@ -399,7 +440,7 @@ func (m *Manager) Exists(n Node, v int) Node {
 	} else {
 		r = m.mk(nn.level, m.Exists(nn.lo, v), m.Exists(nn.hi, v))
 	}
-	m.unary[k] = r
+	*e = unaryEntry{a: n, r: r, arg: int32(v), op: opExists}
 	return r
 }
 
@@ -437,14 +478,15 @@ func (m *Manager) satCountRec(n Node) float64 {
 	if n == True {
 		return 1
 	}
-	if c, ok := m.satmemo[n]; ok {
-		return c
+	e := &m.sat[mix3(n, 0, 0)&(1<<satCacheBits-1)]
+	if e.n == n {
+		return e.c
 	}
 	nn := m.nodes[n]
 	lo := m.satCountRec(nn.lo) * pow2(int(m.nodes[nn.lo].level-nn.level-1))
 	hi := m.satCountRec(nn.hi) * pow2(int(m.nodes[nn.hi].level-nn.level-1))
 	c := lo + hi
-	m.satmemo[n] = c
+	*e = satEntry{n: n, c: c}
 	return c
 }
 

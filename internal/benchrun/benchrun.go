@@ -1,0 +1,234 @@
+// Package benchrun defines the paper's benchmark suite (Table 1, Figures
+// 11/12, and the hot-path micro-benchmarks) as named, reusable cases so that
+// `go test -bench` at the repository root and cmd/bonsai-bench (the JSON
+// perf harness) execute the same code.
+//
+// Case functions are plain testing.B harnesses; custom metrics recorded via
+// b.ReportMetric surface in testing.BenchmarkResult.Extra and are written to
+// BENCH_compress.json by the harness.
+package benchrun
+
+import (
+	"fmt"
+	"testing"
+
+	"bonsai/internal/bdd"
+	"bonsai/internal/build"
+	"bonsai/internal/config"
+	"bonsai/internal/core"
+	"bonsai/internal/netgen"
+	"bonsai/internal/verify"
+)
+
+// Case is one named benchmark.
+type Case struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+// CompressSet benchmarks compressing the network's destination classes once
+// per iteration (total cost for the class set, not per EC). With dedup, the
+// Builder's cross-EC cache serves duplicate and symmetric classes (the cache
+// is reset every iteration so each measures a cold full set); without it,
+// every class is compressed independently via CompressFresh — the ablation
+// baseline the ≥5x dedup claim is measured against. maxClasses > 0 samples
+// the class set.
+func CompressSet(gen func() *config.Network, maxClasses int, dedup bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		bd, err := build.New(gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes := bd.Classes()
+		if maxClasses > 0 && len(classes) > maxClasses {
+			classes = classes[:maxClasses]
+		}
+		comp := bd.NewCompiler(true)
+		// Warm BDD tables (the paper reports BDD build time separately).
+		if _, err := bd.CompressFresh(comp, classes[0]); err != nil {
+			b.Fatal(err)
+		}
+		var last *core.Abstraction
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bd.InvalidateAbstractionCache()
+			for _, cls := range classes {
+				var abs *core.Abstraction
+				if dedup {
+					abs, err = bd.Compress(comp, cls)
+				} else {
+					abs, err = bd.CompressFresh(comp, cls)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = abs
+			}
+		}
+		b.StopTimer()
+		fresh, transported, served := bd.AbstractionCacheStats()
+		b.ReportMetric(float64(len(classes)), "classes")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(classes)), "ns/class")
+		b.ReportMetric(float64(last.NumAbstractNodes()), "absNodes")
+		b.ReportMetric(float64(last.NumAbstractEdges()), "absLinks")
+		b.ReportMetric(float64(bd.G.NumNodes())/float64(last.NumAbstractNodes()), "nodeRatio")
+		if dedup {
+			b.ReportMetric(float64(fresh), "freshAbs")
+			b.ReportMetric(float64(transported), "transportedAbs")
+			b.ReportMetric(float64(served), "cacheServed")
+		}
+	}
+}
+
+// Fig12 benchmarks one Figure-12 point: all-pairs reachability with
+// per-query certification, concrete versus compressed.
+func Fig12(gen func() *config.Network, bonsai bool, maxClasses int) func(b *testing.B) {
+	return func(b *testing.B) {
+		bd, err := build.New(gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := verify.Options{MaxClasses: maxClasses, Workers: 1, PerPairCertification: true}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Each iteration measures a cold run: without this, iterations
+			// after the first would serve every abstraction from the warm
+			// cross-EC cache and overstate the compressed-side speedup.
+			bd.InvalidateAbstractionCache()
+			var res *verify.Result
+			if bonsai {
+				res, err = verify.AllPairsBonsai(bd, opts)
+			} else {
+				res, err = verify.AllPairsConcrete(bd, opts)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.ReachablePairs != res.Pairs {
+				b.Fatalf("reachability regression: %v", res)
+			}
+		}
+	}
+}
+
+// BuildAdder builds the sum and final carry of an nbits ripple-carry adder
+// over interleaved operand variables — a standard ITE/apply-heavy BDD
+// workload whose intermediate diagrams force deep recursion and many cache
+// probes. It is the single definition of the adder circuit: both the JSON
+// baseline's bdd/adder64 case and internal/bdd's micro-benchmarks use it,
+// so their numbers stay comparable.
+func BuildAdder(m *bdd.Manager, nbits int) (sum, carry bdd.Node) {
+	carry = bdd.False
+	for j := 0; j < nbits; j++ {
+		x, y := m.Var(2*j), m.Var(2*j+1)
+		sum = m.Xor(m.Xor(x, y), carry)
+		carry = m.Or(m.And(x, y), m.And(carry, m.Or(x, y)))
+	}
+	return sum, carry
+}
+
+// BDDAdder benchmarks the BDD manager's operation caches on a ripple-carry
+// adder built from scratch every iteration (manager construction,
+// unique-table growth, apply/ITE traffic, one SatCount).
+func BDDAdder(nbits int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := bdd.New(2 * nbits)
+			_, carry := BuildAdder(m, nbits)
+			if m.SatCount(carry) == 0 {
+				b.Fatal("unsatisfiable carry")
+			}
+		}
+	}
+}
+
+// Cases returns the benchmark suite. Smoke mode shrinks networks and class
+// samples so the whole suite finishes in well under a minute for CI.
+func Cases(smoke bool) []Case {
+	var cs []Case
+	add := func(name string, f func(b *testing.B)) { cs = append(cs, Case{Name: name, F: f}) }
+
+	fattreeKs := []int{12, 20, 30}
+	ringNs := []int{100, 500, 1000}
+	meshNs := []int{50, 150, 250}
+	if smoke {
+		fattreeKs = []int{4, 8}
+		ringNs = []int{20, 60}
+		meshNs = []int{20, 40}
+	}
+	// Networks are generated lazily inside each case: building them here
+	// would keep every topology live for the whole run and distort the GC
+	// behavior of later cases.
+	for _, k := range fattreeKs {
+		k := k
+		gen := func() *config.Network { return netgen.Fattree(k, netgen.PolicyShortestPath) }
+		name := fmt.Sprintf("table1a/fattree/nodes=%d", 5*k*k/4)
+		add(name+"/dedup", CompressSet(gen, 0, true))
+		add(name+"/independent", CompressSet(gen, 0, false))
+	}
+	for _, n := range ringNs {
+		n := n
+		gen := func() *config.Network { return netgen.Ring(n) }
+		name := fmt.Sprintf("table1a/ring/nodes=%d", n)
+		add(name+"/dedup", CompressSet(gen, 0, true))
+		// Independent ring compression is O(diameter) per class; sample it.
+		add(name+"/independent-sample", CompressSet(gen, 4, false))
+	}
+	for _, n := range meshNs {
+		n := n
+		gen := func() *config.Network { return netgen.FullMesh(n) }
+		name := fmt.Sprintf("table1a/mesh/nodes=%d", n)
+		add(name+"/dedup", CompressSet(gen, 0, true))
+		add(name+"/independent-sample", CompressSet(gen, 8, false))
+	}
+
+	dcOpts := netgen.DCOptions{}
+	if smoke {
+		dcOpts = netgen.DCOptions{Clusters: 3, LeavesPerClus: 6, Cores: 4, TagGroups: 12}
+	}
+	dcMax := 64
+	if smoke {
+		dcMax = 8
+	}
+	genDC := func() *config.Network { return netgen.Datacenter(dcOpts) }
+	add("table1b/datacenter/dedup", CompressSet(genDC, dcMax, true))
+	add("table1b/datacenter/independent-sample", CompressSet(genDC, 8, false))
+	if !smoke {
+		add("table1b/wan/dedup", CompressSet(func() *config.Network { return netgen.WAN(netgen.WANOptions{}) }, 32, true))
+	}
+
+	fig12Fattree := []int{4, 6, 8}
+	fig12Mesh := []int{10, 20, 40}
+	fig12Ring := []int{20, 40, 80}
+	if smoke {
+		fig12Fattree = []int{4}
+		fig12Mesh = []int{10}
+		fig12Ring = []int{20}
+	}
+	for _, k := range fig12Fattree {
+		k := k
+		gen := func() *config.Network { return netgen.Fattree(k, netgen.PolicyShortestPath) }
+		for _, mode := range []string{"concrete", "bonsai"} {
+			add(fmt.Sprintf("fig12/fattree/nodes=%d/%s", 5*k*k/4, mode), Fig12(gen, mode == "bonsai", 8))
+		}
+	}
+	for _, n := range fig12Mesh {
+		n := n
+		gen := func() *config.Network { return netgen.FullMesh(n) }
+		for _, mode := range []string{"concrete", "bonsai"} {
+			add(fmt.Sprintf("fig12/mesh/nodes=%d/%s", n, mode), Fig12(gen, mode == "bonsai", 8))
+		}
+	}
+	for _, n := range fig12Ring {
+		n := n
+		gen := func() *config.Network { return netgen.Ring(n) }
+		for _, mode := range []string{"concrete", "bonsai"} {
+			add(fmt.Sprintf("fig12/ring/nodes=%d/%s", n, mode), Fig12(gen, mode == "bonsai", 8))
+		}
+	}
+
+	add("bdd/adder64", BDDAdder(64))
+	return cs
+}

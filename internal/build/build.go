@@ -77,6 +77,20 @@ type Builder struct {
 	compOrder  []*policy.Compiler // registration order, for eviction
 	roleCache  map[[2]bool]int
 	matchedSet map[protocols.Community]bool
+
+	// Cross-EC deduplication (dedup.go, transport.go): classes are
+	// fingerprinted and compressed once per distinct fingerprint; symmetric
+	// classes are served by verified partition transport.
+	sigRMs         []rmRef
+	sigACLs        []aclRef
+	iso            *isoTables
+	absMu          sync.Mutex
+	absCache       map[string]*absEntry
+	isoIndex       map[uint64][]*absEntry
+	fpIntern       map[string]int32
+	absServed      int64
+	absFresh       int
+	absTransported int64
 }
 
 // maxCompilerCaches bounds the compiler->cache registry. Workflows that
@@ -103,6 +117,9 @@ func New(net *config.Network) (*Builder, error) {
 		ospfAdj:    make(map[topo.Edge]ospfAdj),
 		compCaches: make(map[*policy.Compiler]*compilerCache),
 		roleCache:  make(map[[2]bool]int),
+		absCache:   make(map[string]*absEntry),
+		isoIndex:   make(map[uint64][]*absEntry),
+		fpIntern:   make(map[string]int32),
 	}
 	names := net.RouterNames()
 	b.routers = make([]*config.Router, 0, len(names))
@@ -120,6 +137,8 @@ func New(net *config.Network) (*Builder, error) {
 	for _, e := range b.G.Edges() {
 		b.indexEdge(e)
 	}
+	b.collectSigRefs()
+	b.buildIsoTables()
 	b.erasedUniverse = net.MatchedCommunities()
 	b.fullUniverse = net.AllCommunities()
 	b.matchedSet = make(map[protocols.Community]bool, len(b.erasedUniverse))

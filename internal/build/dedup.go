@@ -1,0 +1,214 @@
+// Cross-EC abstraction deduplication. The paper's evaluation networks are
+// highly regular, and compression only ever looks at a destination class
+// through the canonical edge keys and prefs, so the Builder avoids redundant
+// refinement work at two levels:
+//
+//  1. Identity: classes whose class-dependent inputs are byte-identical
+//     (same destination, origins, statics, prefix-list match outcomes, ACL
+//     verdicts) share one *core.Abstraction outright — e.g. the several
+//     prefixes each datacenter leaf originates.
+//
+//  2. Symmetry: classes related by a relabeling of the routers (fattree's
+//     per-edge-router classes, ring rotations, mesh stars) are served by
+//     transporting a cached partition through an explicitly verified
+//     permutation π — see transport.go.
+//
+// The class fingerprint deliberately avoids compiling anything. Everything
+// class-dependent in the pipeline reduces to: the destination vertex and
+// origin set; the set of edges carrying an applicable static route; per
+// session route map, the outcome of every prefix-list match against the
+// class prefix (this determines the compiled BDD relation, AlwaysDrops,
+// LocalPrefValues and LocalPrefPassesThrough, because MatchPrefix is the
+// only prefix-dependent match kind); and per interface ACL, its verdict.
+// Everything else (sessions, iBGP flags, redistribution, OSPF costs/areas)
+// is class-independent. The cost per class is O(route maps + ACLs + statics
+// + E), orders of magnitude below one refinement run.
+package build
+
+import (
+	"bonsai/internal/core"
+	"bonsai/internal/ec"
+	"bonsai/internal/policy"
+)
+
+// aclRef names an ACL inside a router's policy namespace.
+type aclRef struct {
+	env  *policy.Env
+	name string
+}
+
+// absEntry is one single-flight slot of the abstraction cache: the first
+// worker to claim a fingerprint computes (or transports) the abstraction
+// while later workers block on ready and share the result. Entries computed
+// by CompressFresh additionally carry the liveness and prefs vectors that
+// seed future symmetry transports.
+type absEntry struct {
+	ready chan struct{}
+	abs   *core.Abstraction
+	err   error
+
+	sig   *classSig
+	live  []bool // per edge index; only on fresh entries (transport seeds)
+	prefs []int  // per node; only on fresh entries (transport seeds)
+	done  bool   // set under absMu once abs/err are final
+}
+
+// collectSigRefs enumerates, once per Builder, the policy objects whose
+// class-dependent behavior the fingerprint must record: every route map
+// attached to a live BGP session and every interface ACL. Order is arbitrary
+// but fixed for the Builder's lifetime, which is all fingerprint equality
+// needs.
+func (b *Builder) collectSigRefs() {
+	seenRM := make(map[rmRef]bool)
+	addRM := func(env *policy.Env, name string) {
+		if name == "" {
+			return
+		}
+		r := rmRef{env: env, name: name}
+		if !seenRM[r] {
+			seenRM[r] = true
+			b.sigRMs = append(b.sigRMs, r)
+		}
+	}
+	for _, e := range b.G.Edges() {
+		if sess, ok := b.bgpSess[e]; ok {
+			addRM(sess.expEnv, sess.expMap)
+			addRM(sess.impEnv, sess.impMap)
+		}
+	}
+	seenACL := make(map[aclRef]bool)
+	for _, r := range b.routers {
+		for _, name := range r.IfaceACL {
+			if name == "" {
+				continue
+			}
+			a := aclRef{env: r.Env, name: name}
+			if !seenACL[a] {
+				seenACL[a] = true
+				b.sigACLs = append(b.sigACLs, a)
+			}
+		}
+	}
+}
+
+// Compress runs the full per-class pipeline (Algorithm 1) with cross-EC
+// deduplication: identical classes share one cached abstraction, and
+// symmetric classes are served by verified partition transport. Concurrent
+// calls are safe — compilers stay per-goroutine, the cache is guarded by the
+// Builder lock, and concurrent misses on one fingerprint are single-flighted
+// so the work happens once. The returned Abstraction may be shared and must
+// be treated as read-only (every consumer in this repository already does).
+func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+	sig, err := b.classSignature(cls)
+	if err != nil {
+		return nil, err
+	}
+	b.absMu.Lock()
+	if e, ok := b.absCache[sig.fp]; ok {
+		b.absServed++
+		b.absMu.Unlock()
+		<-e.ready
+		return e.abs, e.err
+	}
+	e := &absEntry{ready: make(chan struct{}), sig: sig}
+	b.absCache[sig.fp] = e
+	b.absMu.Unlock()
+
+	// Miss path: only now pay for the O(E) edge-label vector (identity hits
+	// never need it), then snapshot completed transport seeds with a
+	// matching label histogram.
+	b.ensureLabels(sig)
+	var cands []*absEntry
+	b.absMu.Lock()
+	for _, c := range b.isoIndex[sig.histo] {
+		if c.done && c.err == nil && c.abs.ColorSplits == 0 {
+			cands = append(cands, c)
+		}
+	}
+	b.absMu.Unlock()
+
+	var transported bool
+	for _, c := range cands {
+		if pi := b.findIso(c.sig, sig); pi != nil {
+			e.abs = b.transportAbs(c, sig, pi)
+			transported = true
+			break
+		}
+	}
+	if !transported {
+		e.abs, e.err = b.CompressFresh(comp, cls)
+		if e.err == nil {
+			e.live = b.liveVec(comp, cls)
+			e.prefs = b.prefsVec(cls)
+			// Future transports read this entry's colors concurrently;
+			// compute them now, while the entry is still private, so no
+			// lazy write can race with candidate reads.
+			b.ensureColors(sig)
+		}
+	}
+
+	b.absMu.Lock()
+	if e.err != nil {
+		// Drop failed entries so a later call can retry; waiters already
+		// holding e still observe the error.
+		delete(b.absCache, sig.fp)
+	} else {
+		e.done = true
+		if transported {
+			b.absTransported++
+		} else {
+			b.absFresh++
+			// Only fresh entries seed transports: one seed per symmetry
+			// family keeps the index and the retained vectors small.
+			b.isoIndex[sig.histo] = append(b.isoIndex[sig.histo], e)
+		}
+	}
+	b.absMu.Unlock()
+	close(e.ready)
+	return e.abs, e.err
+}
+
+// CompressFresh compresses the class unconditionally, bypassing and not
+// populating the deduplication cache: canonical edge keys from comp's BDD
+// tables, abstraction refinement, and — when the network runs BGP — ∀∀
+// strengthening plus local-preference case splitting. It is the reference
+// implementation Compress is tested against, and what benchmarks use to
+// measure undeduplicated cost.
+func (b *Builder) CompressFresh(comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+	dest, err := b.destOf(cls)
+	if err != nil {
+		return nil, err
+	}
+	mode := core.ModeEffective
+	if b.hasBGP {
+		mode = core.ModeBGP
+	}
+	abs := core.FindAbstraction(b.G, dest, core.Options{
+		Mode:    mode,
+		EdgeKey: b.EdgeKeyFunc(comp, cls),
+		Prefs:   b.PrefsFunc(cls),
+	})
+	return abs, nil
+}
+
+// AbstractionCacheStats reports the deduplication cache state: the number of
+// abstractions computed by full refinement (fresh), the number served by
+// symmetry transport, and the number of Compress calls answered from the
+// identity cache.
+func (b *Builder) AbstractionCacheStats() (fresh int, transported, served int64) {
+	b.absMu.Lock()
+	defer b.absMu.Unlock()
+	return b.absFresh, b.absTransported, b.absServed
+}
+
+// InvalidateAbstractionCache empties the deduplication cache and resets its
+// counters. Benchmarks use it to measure full-class-set cost per iteration.
+func (b *Builder) InvalidateAbstractionCache() {
+	b.absMu.Lock()
+	defer b.absMu.Unlock()
+	b.absCache = make(map[string]*absEntry)
+	b.isoIndex = make(map[uint64][]*absEntry)
+	b.absServed = 0
+	b.absFresh = 0
+	b.absTransported = 0
+}

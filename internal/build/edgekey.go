@@ -8,7 +8,6 @@ package build
 
 import (
 	"net/netip"
-	"strings"
 
 	"bonsai/internal/bdd"
 	"bonsai/internal/core"
@@ -84,19 +83,18 @@ func (cc *compilerCache) withRedist(rel bdd.Node, ospf, static bool) bdd.Node {
 	return cc.nextSynth
 }
 
-// prefixFingerprint renders the outcome of every prefix-list match a route
-// map can perform against pfx. Together with the edge identity it uniquely
-// determines the compiled relation, letting compilations be shared across
-// destination classes.
-func prefixFingerprint(sb *strings.Builder, env *policy.Env, mapName string, pfx netip.Prefix) {
+// appendPrefixFingerprint renders the outcome of every prefix-list match a
+// route map can perform against pfx. Together with the edge identity it
+// uniquely determines the compiled relation, letting compilations be shared
+// across destination classes; the class fingerprint of dedup.go reuses it to
+// deduplicate whole abstractions.
+func appendPrefixFingerprint(dst []byte, env *policy.Env, mapName string, pfx netip.Prefix) []byte {
 	if mapName == "" {
-		sb.WriteByte('-')
-		return
+		return append(dst, '-')
 	}
 	rm := env.RouteMaps[mapName]
 	if rm == nil {
-		sb.WriteByte('?')
-		return
+		return append(dst, '?')
 	}
 	for i := range rm.Clauses {
 		for _, m := range rm.Clauses[i].Matches {
@@ -104,25 +102,25 @@ func prefixFingerprint(sb *strings.Builder, env *policy.Env, mapName string, pfx
 				continue
 			}
 			if l, ok := env.PrefixLists[m.Arg]; ok && l.Matches(pfx) {
-				sb.WriteByte('1')
+				dst = append(dst, '1')
 			} else {
-				sb.WriteByte('0')
+				dst = append(dst, '0')
 			}
 		}
 	}
+	return dst
 }
 
 // edgeRelation compiles (or recalls) the canonical BGP relation of a
 // session for the class prefix: v's export map composed with u's import map.
 func (b *Builder) edgeRelation(comp *policy.Compiler, cc *compilerCache, sess bgpSession, pfx netip.Prefix) relEntry {
-	var fp strings.Builder
-	prefixFingerprint(&fp, sess.expEnv, sess.expMap, pfx)
-	fp.WriteByte('|')
-	prefixFingerprint(&fp, sess.impEnv, sess.impMap, pfx)
+	fp := appendPrefixFingerprint(make([]byte, 0, 32), sess.expEnv, sess.expMap, pfx)
+	fp = append(fp, '|')
+	fp = appendPrefixFingerprint(fp, sess.impEnv, sess.impMap, pfx)
 	k := relKey{
 		expEnv: sess.expEnv, expMap: sess.expMap,
 		impEnv: sess.impEnv, impMap: sess.impMap,
-		ibgp: sess.ibgp, fp: fp.String(),
+		ibgp: sess.ibgp, fp: string(fp),
 	}
 	if k.expMap == "" {
 		k.expEnv = nil // the identity map is namespace-independent
@@ -184,6 +182,12 @@ func (b *Builder) EdgeKeyFunc(comp *policy.Compiler, cls ec.Class) func(u, v top
 // import-assigned on an eBGP session or the default — a one-hop closure
 // over the sender's eBGP import maps completes the bound without recursion.
 func (b *Builder) PrefsFunc(cls ec.Class) func(u topo.NodeID) int {
+	prefs := b.prefsVec(cls)
+	return func(u topo.NodeID) int { return prefs[u] }
+}
+
+// prefsVec computes prefs(u) for every node (see PrefsFunc).
+func (b *Builder) prefsVec(cls ec.Class) []int {
 	prefs := make([]int, b.G.NumNodes())
 	for _, u := range b.G.Nodes() {
 		vals := make(map[uint32]bool)
@@ -234,7 +238,7 @@ func (b *Builder) PrefsFunc(cls ec.Class) func(u topo.NodeID) int {
 		}
 		prefs[u] = n
 	}
-	return func(u topo.NodeID) int { return prefs[u] }
+	return prefs
 }
 
 // originates reports whether the named router is an origin of the class.
@@ -245,27 +249,4 @@ func originates(cls ec.Class, name string) bool {
 		}
 	}
 	return false
-}
-
-// Compress runs the full per-class pipeline (Algorithm 1): canonical edge
-// keys from comp's BDD tables, abstraction refinement, and — when the
-// network runs BGP — ∀∀ strengthening plus local-preference case splitting.
-// Concurrent calls with distinct compilers are safe; the BDD relation cache
-// is per-compiler, so parallel workers amortise compilation independently
-// while sharing every other Builder table read-only.
-func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
-	dest, err := b.destOf(cls)
-	if err != nil {
-		return nil, err
-	}
-	mode := core.ModeEffective
-	if b.hasBGP {
-		mode = core.ModeBGP
-	}
-	abs := core.FindAbstraction(b.G, dest, core.Options{
-		Mode:    mode,
-		EdgeKey: b.EdgeKeyFunc(comp, cls),
-		Prefs:   b.PrefsFunc(cls),
-	})
-	return abs, nil
 }

@@ -1,0 +1,643 @@
+// Symmetry transport: cross-EC abstraction reuse between destination classes
+// related by a network symmetry. The evaluation networks are regular —
+// fattree's 72/200/450 classes differ only in *which* edge router originates
+// the prefix, not in any behavioral structure — so compressing every class
+// independently redoes identical refinement work modulo a relabeling of the
+// routers. This file finds that relabeling explicitly.
+//
+// Given a cached class A and a new class B, transport searches for a
+// permutation π of the concrete nodes such that π maps every directed edge
+// onto an edge with the same class-independent content label (BGP session
+// shape, route-map *content*, OSPF cost/area, redistribution) and the same
+// class-dependent bits (prefix-list match outcomes, ACL verdicts, static
+// routes, origins, destination). Such a π is an isomorphism between the two
+// compression inputs, and every phase of Algorithm 1 that Bonsai runs —
+// partition-refinement fixpoints, ∀∀ strengthening, case splitting, and the
+// canonical assembly — commutes with it. The one exception is the greedy
+// first-fit coloring of phase 2b, whose output can depend on member order;
+// abstractions where it fired are therefore never transported
+// (Abstraction.ColorSplits > 0). Under that gate, Assemble(π(partition_A))
+// is byte-identical to compressing B from scratch, which the property tests
+// assert.
+//
+// Soundness does not rest on the search heuristics: hash collisions in the
+// color-refinement pruning can only admit extra candidates, every candidate
+// π is verified edge-by-edge against the exact label conditions before use,
+// and any failure (or exceeding the search budget) falls back to
+// CompressFresh.
+package build
+
+import (
+	"slices"
+	"sort"
+	"strconv"
+
+	"bonsai/internal/core"
+	"bonsai/internal/ec"
+	"bonsai/internal/policy"
+	"bonsai/internal/topo"
+)
+
+// nbrEdge is one undirected neighbor with the indices of the two directed
+// edges joining it, precomputed so the hot loops never consult a map.
+type nbrEdge struct {
+	v        topo.NodeID
+	out, in_ int32 // edge indices of (u, v) and (v, u)
+}
+
+// isoTables holds the class-independent side of the transport machinery,
+// built once per Builder.
+type isoTables struct {
+	edges    []topo.Edge            // b.G.Edges() order
+	edgeIdx  map[topo.Edge]int32    // directed edge -> index in edges
+	content  []int32                // per edge: interned content label
+	expRM    []int32                // per edge: sigRMs index of the export map, -1 none
+	impRM    []int32                // per edge: sigRMs index of the import map, -1 none
+	aclIdx   []int32                // per edge: sigACLs index of the egress ACL, -1 none
+	nbrs     [][]topo.NodeID        // undirected neighbors per node, sorted
+	nbrEdges [][]nbrEdge            // aligned with nbrs
+	rmLists  [][]*policy.PrefixList // per sigRMs entry: prefix lists matched, in clause/match order
+	rmKnown  []bool                 // per sigRMs entry: route map exists
+}
+
+// buildIsoTables precomputes edge content labels and index tables. Runs once
+// from New; everything here is class-independent.
+func (b *Builder) buildIsoTables() {
+	t := &isoTables{
+		edges:   b.G.Edges(),
+		edgeIdx: make(map[topo.Edge]int32),
+		nbrs:    make([][]topo.NodeID, b.G.NumNodes()),
+	}
+	rmIdx := make(map[rmRef]int32, len(b.sigRMs))
+	for i, r := range b.sigRMs {
+		rmIdx[r] = int32(i)
+	}
+	aclIdx := make(map[aclRef]int32, len(b.sigACLs))
+	for i, a := range b.sigACLs {
+		aclIdx[a] = int32(i)
+	}
+	contentIDs := make(map[string]int32)
+	rmContent := make(map[rmRef]string)
+	t.content = make([]int32, len(t.edges))
+	t.expRM = make([]int32, len(t.edges))
+	t.impRM = make([]int32, len(t.edges))
+	t.aclIdx = make([]int32, len(t.edges))
+	for i, e := range t.edges {
+		t.edgeIdx[e] = int32(i)
+		t.nbrs[e.U] = append(t.nbrs[e.U], e.V)
+		t.expRM[i], t.impRM[i], t.aclIdx[i] = -1, -1, -1
+		var lbl []byte
+		if sess, ok := b.bgpSess[e]; ok {
+			lbl = append(lbl, 'B')
+			lbl = appendFlag(lbl, sess.ibgp)
+			lbl = appendFlag(lbl, sess.redistOSPF)
+			lbl = appendFlag(lbl, sess.redistStatic)
+			lbl = append(lbl, mapContentSig(rmContent, sess.expEnv, sess.expMap)...)
+			lbl = append(lbl, '/')
+			lbl = append(lbl, mapContentSig(rmContent, sess.impEnv, sess.impMap)...)
+			if sess.expMap != "" {
+				t.expRM[i] = rmIdx[rmRef{env: sess.expEnv, name: sess.expMap}]
+			}
+			if sess.impMap != "" {
+				t.impRM[i] = rmIdx[rmRef{env: sess.impEnv, name: sess.impMap}]
+			}
+		}
+		if adj, ok := b.ospfAdj[e]; ok {
+			lbl = append(lbl, 'O')
+			lbl = strconv.AppendInt(lbl, int64(adj.cost), 10)
+			lbl = appendFlag(lbl, adj.cross)
+		}
+		if name := b.routers[e.U].IfaceACL[b.G.Name(e.V)]; name != "" {
+			t.aclIdx[i] = aclIdx[aclRef{env: b.routers[e.U].Env, name: name}]
+		}
+		id, ok := contentIDs[string(lbl)]
+		if !ok {
+			id = int32(len(contentIDs))
+			contentIDs[string(lbl)] = id
+		}
+		t.content[i] = id
+	}
+	t.nbrEdges = make([][]nbrEdge, len(t.nbrs))
+	for u, ns := range t.nbrs {
+		slices.Sort(ns)
+		ns = slices.Compact(ns)
+		t.nbrs[u] = ns
+		for _, v := range ns {
+			t.nbrEdges[u] = append(t.nbrEdges[u], nbrEdge{
+				v:   v,
+				out: t.edgeIdx[topo.Edge{U: topo.NodeID(u), V: v}],
+				in_: t.edgeIdx[topo.Edge{U: v, V: topo.NodeID(u)}],
+			})
+		}
+	}
+	// Per route map, the prefix lists its clauses match, in clause/match
+	// order — the positions whose outcomes the class fingerprint records.
+	t.rmLists = make([][]*policy.PrefixList, len(b.sigRMs))
+	t.rmKnown = make([]bool, len(b.sigRMs))
+	for i, r := range b.sigRMs {
+		rm := r.env.RouteMaps[r.name]
+		if rm == nil {
+			continue
+		}
+		t.rmKnown[i] = true
+		for ci := range rm.Clauses {
+			for _, m := range rm.Clauses[ci].Matches {
+				if m.Kind != policy.MatchPrefix {
+					continue
+				}
+				t.rmLists[i] = append(t.rmLists[i], r.env.PrefixLists[m.Arg])
+			}
+		}
+	}
+	b.iso = t
+}
+
+func appendFlag(b []byte, v bool) []byte {
+	if v {
+		return append(b, '1')
+	}
+	return append(b, '0')
+}
+
+// mapContentSig serialises everything the BDD compiler and the prefs
+// analysis read from a route map, with prefix-list matches abstracted to a
+// positional placeholder (their per-class outcomes live in the fingerprint).
+// Two maps with equal content signatures and equal match-outcome bits
+// compile to the same relation and yield the same local-preference sets.
+func mapContentSig(cache map[rmRef]string, env *policy.Env, name string) string {
+	if name == "" {
+		return "-"
+	}
+	ref := rmRef{env: env, name: name}
+	if s, ok := cache[ref]; ok {
+		return s
+	}
+	rm := env.RouteMaps[name]
+	var b []byte
+	if rm == nil {
+		b = append(b, '?')
+		b = append(b, name...)
+	} else {
+		for ci := range rm.Clauses {
+			cl := &rm.Clauses[ci]
+			b = append(b, ';')
+			if cl.Action == policy.Permit {
+				b = append(b, 'p')
+			} else {
+				b = append(b, 'd')
+			}
+			for _, m := range cl.Matches {
+				switch m.Kind {
+				case policy.MatchPrefix:
+					b = append(b, 'P') // outcome supplied per class
+				case policy.MatchCommunity:
+					b = append(b, 'C')
+					if l := env.CommunityLists[m.Arg]; l != nil {
+						for _, c := range l.Communities {
+							b = strconv.AppendUint(b, uint64(c), 10)
+							b = append(b, ',')
+						}
+					} else {
+						b = append(b, '?')
+						b = append(b, m.Arg...)
+					}
+				}
+			}
+			b = append(b, ':')
+			for _, s := range cl.Sets {
+				b = strconv.AppendInt(b, int64(s.Kind), 10)
+				b = append(b, '=')
+				b = strconv.AppendUint(b, uint64(s.Value), 10)
+				b = append(b, '+')
+				b = strconv.AppendUint(b, uint64(s.Comm), 10)
+			}
+		}
+	}
+	s := string(b)
+	cache[ref] = s
+	return s
+}
+
+// classSig carries every class-dependent input of compression in comparable
+// form: the identity fingerprint plus the per-object tables transport needs.
+type classSig struct {
+	fp      string // identity fingerprint (absCache key)
+	histo   uint64 // relabeling-invariant edge-label histogram hash
+	dest    topo.NodeID
+	origin  []bool  // per node: origin of the class
+	fpIDs   []int32 // per sigRMs: interned match-outcome string
+	aclV    []bool  // per sigACLs: verdict for the class prefix
+	statics map[topo.Edge]bool
+	el      []uint64 // per edge: hashed full label (content + class bits)
+	colors  []uint64 // per node: iterated neighborhood colors (lazy)
+	colHash uint64   // commutative hash of the color multiset
+}
+
+// classSignature computes the class's fingerprint and transport tables.
+// Cost is O(route maps + ACLs + statics + E) with no BDD work.
+func (b *Builder) classSignature(cls ec.Class) (*classSig, error) {
+	dest, err := b.destOf(cls)
+	if err != nil {
+		return nil, err
+	}
+	t := b.iso
+	s := &classSig{
+		dest:    dest,
+		origin:  make([]bool, b.G.NumNodes()),
+		fpIDs:   make([]int32, len(b.sigRMs)),
+		aclV:    make([]bool, len(b.sigACLs)),
+		statics: b.staticEdges(cls),
+	}
+	fp := make([]byte, 0, 64+2*len(b.sigRMs)+len(b.sigACLs))
+	fp = strconv.AppendInt(fp, int64(dest), 10)
+	fp = append(fp, '|')
+	for _, o := range cls.Origins {
+		fp = append(fp, o...)
+		fp = append(fp, ',')
+		if id, ok := b.G.Lookup(o); ok {
+			s.origin[id] = true
+		}
+	}
+	fp = append(fp, '|')
+	statics := make([]topo.Edge, 0, len(s.statics))
+	for e := range s.statics {
+		statics = append(statics, e)
+	}
+	sort.Slice(statics, func(i, j int) bool {
+		if statics[i].U != statics[j].U {
+			return statics[i].U < statics[j].U
+		}
+		return statics[i].V < statics[j].V
+	})
+	for _, e := range statics {
+		fp = strconv.AppendInt(fp, int64(e.U), 10)
+		fp = append(fp, '>')
+		fp = strconv.AppendInt(fp, int64(e.V), 10)
+		fp = append(fp, ',')
+	}
+	fp = append(fp, '|')
+	// Match-outcome strings per route map, interned Builder-wide so that
+	// transport can compare them across classes as ints. The prefix-list
+	// matching runs outside the lock (concurrent workers signature-compute
+	// in parallel); only the intern-table access is a critical section.
+	var bits []byte
+	offs := make([]int, len(b.sigRMs)+1)
+	for i := range b.sigRMs {
+		if !t.rmKnown[i] {
+			bits = append(bits, '?')
+		}
+		for _, l := range t.rmLists[i] {
+			if l != nil && l.Matches(cls.Prefix) {
+				bits = append(bits, '1')
+			} else {
+				bits = append(bits, '0')
+			}
+		}
+		offs[i+1] = len(bits)
+	}
+	b.absMu.Lock()
+	for i := range b.sigRMs {
+		key := bits[offs[i]:offs[i+1]]
+		id, ok := b.fpIntern[string(key)]
+		if !ok {
+			id = int32(len(b.fpIntern))
+			b.fpIntern[string(key)] = id
+		}
+		s.fpIDs[i] = id
+	}
+	b.absMu.Unlock()
+	for i := range b.sigRMs {
+		fp = strconv.AppendInt(fp, int64(s.fpIDs[i]), 10)
+		fp = append(fp, ';')
+	}
+	fp = append(fp, '|')
+	for i, a := range b.sigACLs {
+		s.aclV[i] = a.env.ACLPermits(a.name, cls.Prefix)
+		fp = appendFlag(fp, s.aclV[i])
+	}
+	s.fp = string(fp)
+	return s, nil
+}
+
+// ensureLabels computes (once per classSig) the per-edge label vector and
+// its relabeling-invariant histogram hash. Deferred off the identity-hit
+// path: cache hits only read sig.fp, so the O(E) hashing runs on misses
+// alone. Like ensureColors, the lazy write is unsynchronised — callers must
+// only invoke it on a classSig not yet shared with other goroutines.
+func (b *Builder) ensureLabels(s *classSig) {
+	if s.el != nil {
+		return
+	}
+	t := b.iso
+	// Addition is commutative, so summing the mixed labels is invariant
+	// under any edge reordering — no sort needed.
+	s.el = make([]uint64, len(t.edges))
+	h := uint64(14695981039346656037)
+	for i := range t.edges {
+		w := t.edgeLabel(s, int32(i))
+		s.el[i] = w
+		h += mix64(w)
+	}
+	norig := 0
+	for _, o := range s.origin {
+		if o {
+			norig++
+		}
+	}
+	s.histo = mix64(h ^ uint64(norig))
+}
+
+// edgeLabel hashes the full (content + class-dependent) label of edge index
+// i under class signature s into one word. Used for pruning and histograms;
+// exact comparisons go through edgeEq.
+func (t *isoTables) edgeLabel(s *classSig, i int32) uint64 {
+	w := mix64(uint64(uint32(t.content[i])) + 1)
+	if rm := t.expRM[i]; rm >= 0 {
+		w = mix64(w ^ (uint64(uint32(s.fpIDs[rm])) + 0x9e3779b97f4a7c15))
+	}
+	if rm := t.impRM[i]; rm >= 0 {
+		w = mix64(w ^ (uint64(uint32(s.fpIDs[rm])) + 0xc2b2ae3d27d4eb4f))
+	}
+	if a := t.aclIdx[i]; a >= 0 && !s.aclV[a] {
+		w = mix64(w ^ 0x165667b19e3779f9)
+	}
+	if len(s.statics) > 0 && s.statics[t.edges[i]] {
+		w = mix64(w ^ 0x27d4eb2f165667c5)
+	}
+	return w
+}
+
+// mix64 is splitmix64's finaliser: a fast, well-distributed 64-bit mixer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// edgeEq reports whether edge e under class sa carries exactly the same
+// label as edge f under class sb — the per-edge transport condition.
+func (t *isoTables) edgeEq(sa, sb *classSig, e, f int32) bool {
+	if t.content[e] != t.content[f] {
+		return false
+	}
+	rmE, rmF := t.expRM[e], t.expRM[f]
+	if (rmE < 0) != (rmF < 0) || (rmE >= 0 && sa.fpIDs[rmE] != sb.fpIDs[rmF]) {
+		return false
+	}
+	rmE, rmF = t.impRM[e], t.impRM[f]
+	if (rmE < 0) != (rmF < 0) || (rmE >= 0 && sa.fpIDs[rmE] != sb.fpIDs[rmF]) {
+		return false
+	}
+	aclA, aclB := true, true
+	if a := t.aclIdx[e]; a >= 0 {
+		aclA = sa.aclV[a]
+	}
+	if a := t.aclIdx[f]; a >= 0 {
+		aclB = sb.aclV[a]
+	}
+	if aclA != aclB {
+		return false
+	}
+	return sa.statics[t.edges[e]] == sb.statics[t.edges[f]]
+}
+
+// colorRounds bounds the color-refinement preprocessing. Three rounds
+// separate structural roles in the evaluation networks; under-refinement
+// only enlarges candidate sets (the search's forward checking and the final
+// sweep keep wrong permutations out), so fewer rounds trade search effort
+// for a cheaper per-class preprocessing pass.
+const colorRounds = 3
+
+// ensureColors computes (once per classSig) iterated neighborhood colors:
+// hash-based 1-WL refinement over the labeled graph with the destination
+// individualised. Colors are plain hashes, so they are comparable across
+// classes without shared state and cacheable per entry. The lazy write is
+// not synchronised: callers must only invoke this on a classSig that no
+// other goroutine can reach (Compress precomputes colors on fresh entries
+// before publishing them as transport seeds).
+func (b *Builder) ensureColors(s *classSig) []uint64 {
+	if s.colors != nil {
+		return s.colors
+	}
+	b.ensureLabels(s)
+	t := b.iso
+	n := b.G.NumNodes()
+	col := make([]uint64, n)
+	for u := 0; u < n; u++ {
+		w := uint64(0)
+		if topo.NodeID(u) == s.dest {
+			w |= 1
+		}
+		if s.origin[u] {
+			w |= 2
+		}
+		col[u] = mix64(w + 0x9e3779b97f4a7c15)
+	}
+	next := make([]uint64, n)
+	for r := 0; r < colorRounds; r++ {
+		for u := 0; u < n; u++ {
+			// Commutative combine (sum of mixed tuples) keeps the color a
+			// multiset invariant of the labeled neighborhood without sorting.
+			h := mix64(col[u])
+			for _, ne := range t.nbrEdges[u] {
+				h += mix64(s.el[ne.out] ^ mix64(s.el[ne.in_]^mix64(col[ne.v])))
+			}
+			next[u] = mix64(h)
+		}
+		col, next = next, col
+	}
+	h := uint64(0)
+	for _, c := range col {
+		h += mix64(c)
+	}
+	s.colHash = h
+	s.colors = col
+	return col
+}
+
+// nbrEdgeOf binary-searches u's sorted neighbor list for v, returning the
+// pair of directed edge indices, or ok=false when (u, v) is not an edge.
+// Faster than the edgeIdx map in the search hot paths.
+func (t *isoTables) nbrEdgeOf(u, v topo.NodeID) (out, in_ int32, ok bool) {
+	i, found := slices.BinarySearch(t.nbrs[u], v)
+	if !found {
+		return 0, 0, false
+	}
+	ne := t.nbrEdges[u][i]
+	return ne.out, ne.in_, true
+}
+
+// isoBudgetFactor bounds the backtracking search to factor×V node
+// placements (including undone ones) before giving up.
+const isoBudgetFactor = 64
+
+// findIso searches for a node permutation π with π(sa.dest) = sb.dest that
+// maps every directed edge onto an edge with an equal label (edgeEq) and
+// preserves the origin marking. Returns nil if none is found within budget.
+// The final sweep re-verifies the result, so heuristic failure or hash
+// collisions are only missed optimisations, never wrong answers.
+func (b *Builder) findIso(sa, sb *classSig) []topo.NodeID {
+	t := b.iso
+	n := b.G.NumNodes()
+	colA := b.ensureColors(sa)
+	colB := b.ensureColors(sb)
+	// Color-multiset check (commutative hash): a mismatch means no π can
+	// exist; a collision only admits a doomed search that the forward
+	// checking rejects.
+	if sa.colHash != sb.colHash {
+		return nil
+	}
+	// BFS order from the destination; every node processed after its parent
+	// so candidates are constrained by at least one mapped neighbor.
+	order := make([]topo.NodeID, 0, n)
+	seen := make([]bool, n)
+	parent := make([]topo.NodeID, n)
+	order = append(order, sa.dest)
+	seen[sa.dest] = true
+	parent[sa.dest] = -1
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for _, v := range t.nbrs[u] {
+			if !seen[v] {
+				seen[v] = true
+				parent[v] = u
+				order = append(order, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil // disconnected from dest; transport not attempted
+	}
+	pi := make([]topo.NodeID, n)
+	rev := make([]topo.NodeID, n)
+	for i := range pi {
+		pi[i], rev[i] = -1, -1
+	}
+	budget := isoBudgetFactor * n
+	steps := 0
+	// compatible checks u→w against all already-mapped neighbors of u.
+	compatible := func(u, w topo.NodeID) bool {
+		if colA[u] != colB[w] || sa.origin[u] != sb.origin[w] {
+			return false
+		}
+		for _, ne := range t.nbrEdges[u] {
+			pv := pi[ne.v]
+			if pv < 0 {
+				continue
+			}
+			fo, fi, ok := t.nbrEdgeOf(w, pv)
+			if !ok {
+				return false
+			}
+			if !t.edgeEq(sa, sb, ne.out, fo) || !t.edgeEq(sa, sb, ne.in_, fi) {
+				return false
+			}
+		}
+		return true
+	}
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		if i == n {
+			return true
+		}
+		u := order[i]
+		var cands []topo.NodeID
+		if parent[u] < 0 {
+			cands = []topo.NodeID{sb.dest}
+		} else {
+			cands = t.nbrs[pi[parent[u]]]
+		}
+		for _, w := range cands {
+			if rev[w] >= 0 || !compatible(u, w) {
+				continue
+			}
+			steps++
+			if steps > budget {
+				return false
+			}
+			pi[u], rev[w] = w, u
+			if dfs(i + 1) {
+				return true
+			}
+			pi[u], rev[w] = -1, -1
+			if steps > budget {
+				return false
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil
+	}
+	// Full verification sweep: π must map every edge onto an edge with an
+	// equal label (the search already enforced this locally; the sweep makes
+	// soundness independent of the search code).
+	for i, e := range t.edges {
+		f, _, ok := t.nbrEdgeOf(pi[e.U], pi[e.V])
+		if !ok || !t.edgeEq(sa, sb, int32(i), f) {
+			return nil
+		}
+	}
+	for u := 0; u < n; u++ {
+		if sa.origin[u] != sb.origin[pi[u]] {
+			return nil
+		}
+	}
+	if pi[sa.dest] != sb.dest {
+		return nil
+	}
+	return pi
+}
+
+// transportAbs rebuilds class sig's abstraction from a cached entry by
+// mapping its partition, liveness and prefs through π and re-running the
+// canonical assembly. The result is exactly what CompressFresh would return
+// for the class, because every phase before assembly commutes with π and
+// the cached entry is gated on ColorSplits == 0.
+func (b *Builder) transportAbs(cand *absEntry, sig *classSig, pi []topo.NodeID) *core.Abstraction {
+	t := b.iso
+	A := cand.abs
+	n := len(pi)
+	groupOf := make([]int, n)
+	prefs := make([]int, n)
+	for u := 0; u < n; u++ {
+		groupOf[pi[u]] = A.F[u]
+		prefs[pi[u]] = cand.prefs[u]
+	}
+	live := make([]bool, len(t.edges))
+	for i, e := range t.edges {
+		if cand.live[i] {
+			f, _, ok := t.nbrEdgeOf(pi[e.U], pi[e.V])
+			if ok {
+				live[f] = true
+			}
+		}
+	}
+	mode := core.ModeEffective
+	if b.hasBGP {
+		mode = core.ModeBGP
+	}
+	abs := core.Assemble(b.G, sig.dest, groupOf, core.AssembleOptions{
+		Mode:        mode,
+		Prefs:       func(u topo.NodeID) int { return prefs[u] },
+		LiveEdges:   live, // t.edges shares g.Edges() order
+		Iterations:  A.Iterations,
+		ColorSplits: 0,
+	})
+	return abs
+}
+
+// liveVec records, per edge index, whether the edge is live for the class —
+// computed once per freshly compressed entry so transports need no BDD work.
+func (b *Builder) liveVec(comp *policy.Compiler, cls ec.Class) []bool {
+	t := b.iso
+	keyFn := b.EdgeKeyFunc(comp, cls)
+	live := make([]bool, len(t.edges))
+	for i, e := range t.edges {
+		live[i] = !keyFn(e.U, e.V).Dead()
+	}
+	return live
+}

@@ -11,9 +11,8 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
-	"strconv"
-	"strings"
 
 	"bonsai/internal/bdd"
 	"bonsai/internal/topo"
@@ -42,28 +41,9 @@ type EdgeKey struct {
 // dead edges are ignored by refinement and omitted from the abstract graph.
 func (k EdgeKey) Dead() bool { return !k.BGP && !k.OSPF && !k.Static }
 
-// token renders the key for use inside refinement signatures.
-func (k EdgeKey) token() string {
-	b := make([]byte, 0, 32)
-	b = appendBool(b, k.BGP)
-	b = appendBool(b, k.IBGP)
-	b = strconv.AppendInt(b, int64(k.BGPRel), 10)
-	b = append(b, ',')
-	b = appendBool(b, k.OSPF)
-	b = strconv.AppendInt(b, int64(k.OSPFCost), 10)
-	b = appendBool(b, k.OSPFCross)
-	b = append(b, ',')
-	b = appendBool(b, k.Static)
-	b = appendBool(b, k.ACLPermit)
-	return string(b)
-}
-
-func appendBool(b []byte, v bool) []byte {
-	if v {
-		return append(b, '1')
-	}
-	return append(b, '0')
-}
+// EdgeKey is comparable, so refinement does not render it at all: the
+// adjacency builder interns each distinct key to a dense int32 ID and
+// signatures are built from those IDs (see buildAdjacency).
 
 // Mode selects the abstraction conditions targeted by refinement.
 type Mode int
@@ -111,6 +91,12 @@ type Abstraction struct {
 
 	// Iterations counts refinement sweeps until fixpoint.
 	Iterations int
+	// ColorSplits counts groups divided by the greedy self-loop-freedom
+	// coloring (phase 2b). First-fit coloring is the one phase of Algorithm 1
+	// whose output depends on member order rather than on signatures alone,
+	// so cross-class transport (internal/build) only reuses abstractions
+	// with ColorSplits == 0.
+	ColorSplits int
 }
 
 // FAbs returns the topology function f as concrete node -> primary abstract
@@ -150,6 +136,7 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 		return k
 	}
 	adj := buildAdjacency(g, edgeKey)
+	sc := newSigCtx(adj, p)
 
 	groupPrefs := func(members []int) int {
 		numPrefs := 1
@@ -162,6 +149,7 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 	}
 
 	iterations := 0
+	colorSplits := 0
 	for {
 		// Phase 1 (∀∃): refine every group against abstract neighbor
 		// groups and edge policies until nothing splits. Applying the
@@ -175,9 +163,7 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 				if len(p.Members(id)) <= 1 {
 					continue
 				}
-				if p.Refine(id, func(x int) string {
-					return adj.signature(topo.NodeID(x), p, false)
-				}) {
+				if sc.refine(id, false) {
 					changed = true
 				}
 			}
@@ -192,9 +178,7 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 				if len(members) <= 1 || groupPrefs(members) <= 1 {
 					continue
 				}
-				p.Refine(id, func(x int) string {
-					return adj.signature(topo.NodeID(x), p, true)
-				})
+				sc.refine(id, true)
 			}
 		}
 		// Phase 2b (self-loop freedom): an abstract SRP may not contain
@@ -211,28 +195,85 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 			if opt.Mode == ModeBGP && groupPrefs(members) > 1 {
 				continue // copies of a split group may interconnect
 			}
-			colorSplit(p, members, adj)
+			if colorSplit(p, members, adj) {
+				colorSplits++
+			}
 		}
 		if p.NumGroups() == before {
 			break
 		}
 	}
 
-	groups, idx := p.Snapshot()
-	abs := &Abstraction{
-		G:          g,
-		Dest:       dest,
-		F:          idx,
-		Iterations: iterations,
-		RepEdge:    make(map[topo.Edge]topo.Edge),
+	_, idx := p.Snapshot()
+	return Assemble(g, dest, idx, AssembleOptions{
+		Mode:        opt.Mode,
+		Prefs:       prefs,
+		Live:        func(u, v topo.NodeID) bool { return !edgeKey(u, v).Dead() },
+		Iterations:  iterations,
+		ColorSplits: colorSplits,
+	})
+}
+
+// AssembleOptions configures Assemble: the inputs of the post-refinement
+// phases of Algorithm 1 (case splitting and abstract-graph construction).
+type AssembleOptions struct {
+	Mode Mode
+	// Prefs returns |prefs(u)| (≥ 1); nil means 1.
+	Prefs func(u topo.NodeID) int
+	// Live reports whether the directed concrete edge (u, v) can carry the
+	// destination (the negation of EdgeKey.Dead).
+	Live func(u, v topo.NodeID) bool
+	// LiveEdges, when non-nil, supplies the same information aligned with
+	// g.Edges() order and takes precedence over Live — the per-edge lookup
+	// disappears from the assembly loop.
+	LiveEdges []bool
+	// Iterations and ColorSplits are recorded on the result.
+	Iterations  int
+	ColorSplits int
+}
+
+// Assemble builds the Abstraction of a finished partition: BGP case
+// splitting (§4.3), the abstract graph and the representative-edge table.
+// groupOf maps each concrete node to a group id under any numbering; groups
+// are re-canonicalised (ordered by smallest member) so that equal partitions
+// always assemble to identical Abstractions. FindAbstraction uses it as its
+// final step, and the cross-class transport of internal/build uses it to
+// rebuild a permuted partition exactly as a fresh compression would.
+func Assemble(g *topo.Graph, dest topo.NodeID, groupOf []int, opt AssembleOptions) *Abstraction {
+	prefs := opt.Prefs
+	if prefs == nil {
+		prefs = func(topo.NodeID) int { return 1 }
 	}
-	abs.Groups = make([][]topo.NodeID, len(groups))
-	for i, ms := range groups {
-		nodes := make([]topo.NodeID, len(ms))
-		for j, x := range ms {
-			nodes[j] = topo.NodeID(x)
+
+	// Canonicalise the partition: groups ordered by smallest member,
+	// members sorted. Node iteration is in increasing id, so a group's
+	// first-seen member is its smallest and group order follows it.
+	remap := make(map[int]int)
+	var groups [][]topo.NodeID
+	for u := 0; u < len(groupOf); u++ {
+		gi, ok := remap[groupOf[u]]
+		if !ok {
+			gi = len(groups)
+			remap[groupOf[u]] = gi
+			groups = append(groups, nil)
 		}
-		abs.Groups[i] = nodes
+		groups[gi] = append(groups[gi], topo.NodeID(u))
+	}
+	idx := make([]int, len(groupOf))
+	for gi, ms := range groups {
+		for _, u := range ms {
+			idx[u] = gi
+		}
+	}
+
+	abs := &Abstraction{
+		G:           g,
+		Dest:        dest,
+		F:           idx,
+		Groups:      groups,
+		Iterations:  opt.Iterations,
+		ColorSplits: opt.ColorSplits,
+		RepEdge:     make(map[topo.Edge]topo.Edge),
 	}
 
 	// BGP case splitting (paper §4.3, Theorem 4.4): each abstract node is
@@ -275,8 +316,12 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 	// to each other but never to themselves: SRPs are self-loop-free).
 	type groupEdge struct{ a, b int }
 	repFor := make(map[groupEdge]topo.Edge)
-	for _, e := range g.Edges() {
-		if edgeKey(e.U, e.V).Dead() {
+	for i, e := range g.Edges() {
+		if opt.LiveEdges != nil {
+			if !opt.LiveEdges[i] {
+				continue
+			}
+		} else if !opt.Live(e.U, e.V) {
 			continue
 		}
 		ge := groupEdge{abs.F[e.U], abs.F[e.V]}
@@ -312,19 +357,20 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 	return abs
 }
 
-// liveEdge is a precomputed neighbor entry: the neighbor node and the edge's
-// policy token.
+// liveEdge is a precomputed neighbor entry: the neighbor node and the
+// interned ID of the edge's canonical policy key.
 type liveEdge struct {
 	nbr topo.NodeID
-	tok string
+	tok int32
 }
 
-// adjacency holds, per node, the live out- and in-edges with their policy
-// tokens, computed once per destination class.
+// adjacency holds, per node, the live out- and in-edges with their interned
+// policy-key IDs, computed once per destination class, plus the sorted
+// live-neighbor lists used by the self-loop-freedom coloring.
 type adjacency struct {
 	out  [][]liveEdge
 	in   [][]liveEdge
-	live map[topo.Edge]bool
+	nbrs [][]topo.NodeID // union of live out/in neighbors, sorted, deduped
 }
 
 func buildAdjacency(g *topo.Graph, edgeKey func(u, v topo.NodeID) EdgeKey) *adjacency {
@@ -332,38 +378,52 @@ func buildAdjacency(g *topo.Graph, edgeKey func(u, v topo.NodeID) EdgeKey) *adja
 	a := &adjacency{
 		out:  make([][]liveEdge, n),
 		in:   make([][]liveEdge, n),
-		live: make(map[topo.Edge]bool, g.NumEdges()),
+		nbrs: make([][]topo.NodeID, n),
 	}
+	// EdgeKey is comparable, so distinct keys intern to dense IDs and the
+	// refinement loop never renders a key again.
+	keyIDs := make(map[EdgeKey]int32, 16)
 	for _, u := range g.Nodes() {
 		for _, v := range g.Succ(u) {
 			k := edgeKey(u, v)
 			if k.Dead() {
 				continue
 			}
-			tok := k.token()
+			tok, ok := keyIDs[k]
+			if !ok {
+				tok = int32(len(keyIDs))
+				keyIDs[k] = tok
+			}
 			a.out[u] = append(a.out[u], liveEdge{v, tok})
 			a.in[v] = append(a.in[v], liveEdge{u, tok})
-			a.live[topo.Edge{U: u, V: v}] = true
+			a.nbrs[u] = append(a.nbrs[u], v)
+			a.nbrs[v] = append(a.nbrs[v], u)
 		}
 	}
+	for i, ns := range a.nbrs {
+		slices.Sort(ns)
+		a.nbrs[i] = slices.Compact(ns)
+	}
 	return a
+}
+
+// adjacent reports whether a live edge joins u and v in either direction.
+func (a *adjacency) adjacent(u, v int) bool {
+	_, found := slices.BinarySearch(a.nbrs[u], topo.NodeID(v))
+	return found
 }
 
 // colorSplit divides a group so that no two live-adjacent members remain
 // together, using first-fit coloring in member order (deterministic). It
 // reports whether the group was split.
 func colorSplit(p *usf.Partition, members []int, adj *adjacency) bool {
-	adjacent := func(u, v int) bool {
-		return adj.live[topo.Edge{U: topo.NodeID(u), V: topo.NodeID(v)}] ||
-			adj.live[topo.Edge{U: topo.NodeID(v), V: topo.NodeID(u)}]
-	}
 	var colors [][]int
 	for _, u := range members {
 		placed := false
 		for ci := range colors {
 			ok := true
 			for _, v := range colors[ci] {
-				if adjacent(u, v) {
+				if adj.adjacent(u, v) {
 					ok = false
 					break
 				}
@@ -387,7 +447,73 @@ func colorSplit(p *usf.Partition, members []int, adj *adjacency) bool {
 	return true
 }
 
-// signature builds the refinement key of node u: the sorted set of
+// interner assigns dense int32 IDs to uint64 sequences. Its byte buffer is
+// reused across calls, and the map[string] lookup with an in-place
+// string([]byte) conversion does not allocate on the hit path, so interning
+// an already-seen sequence is allocation-free.
+type interner struct {
+	ids map[string]int32
+	buf []byte
+}
+
+func newInterner() *interner { return &interner{ids: make(map[string]int32, 64)} }
+
+func (in *interner) intern(words []uint64) int32 {
+	buf := in.buf[:0]
+	for _, w := range words {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	in.buf = buf
+	if id, ok := in.ids[string(buf)]; ok {
+		return id
+	}
+	id := int32(len(in.ids))
+	in.ids[string(buf)] = id
+	return id
+}
+
+// reset forgets all assignments but keeps the allocated capacity.
+func (in *interner) reset() { clear(in.ids) }
+
+// sigCtx computes refinement signatures as interned integers. Signature IDs
+// are only comparable within one Refine call (both interners are reset per
+// call), which keeps the tables bounded by the group size instead of growing
+// with the number of sweeps.
+type sigCtx struct {
+	adj  *adjacency
+	p    *usf.Partition
+	sigs *interner // sorted token sequences -> signature IDs
+	toks *interner // ∀∀ token payloads -> token IDs
+	ws   []uint64  // signature scratch
+	tw   []uint64  // token scratch
+}
+
+func newSigCtx(adj *adjacency, p *usf.Partition) *sigCtx {
+	return &sigCtx{adj: adj, p: p, sigs: newInterner(), toks: newInterner()}
+}
+
+// refine runs one signature-refinement pass over group id.
+func (sc *sigCtx) refine(id int, forallForall bool) bool {
+	sc.sigs.reset()
+	sc.toks.reset()
+	return sc.p.Refine(id, func(x int) int64 {
+		return int64(sc.signature(topo.NodeID(x), forallForall))
+	})
+}
+
+// packTok encodes one refinement token as a single word: direction (in/out)
+// in the top bit, the interned policy-key (or ∀∀ token) ID in bits 32..62
+// and the neighbor group in the low 32 bits.
+func packTok(in bool, tok int32, group int) uint64 {
+	w := uint64(uint32(tok))<<32 | uint64(uint32(group))
+	if in {
+		w |= 1 << 63
+	}
+	return w
+}
+
+// signature builds the refinement key of node u: the interned, sorted set of
 // (edge policy, neighbor group) tokens over its live out- and in-edges.
 // Including in-edges guarantees that all concrete edges mapped to one
 // abstract edge share a single policy, which transfer-equivalence requires
@@ -398,63 +524,50 @@ func colorSplit(p *usf.Partition, members []int, adj *adjacency) bool {
 // whether u reaches *every* member of the neighbor group (the ∀∀ condition,
 // group-wise) — and, if not, exactly which members it reaches, so that nodes
 // with matching partial adjacency (e.g. fattree aggregation routers of the
-// same pod) can still share an abstract node.
-func (a *adjacency) signature(u topo.NodeID, p *usf.Partition, forallForall bool) string {
-	type polGroup struct {
-		tok   string
-		group int
-	}
-	toks := make([]string, 0, len(a.out[u])+len(a.in[u]))
+// same pod) can still share an abstract node. Those variable-length payloads
+// are interned to token IDs first, so every token is one word and the
+// signature is a sorted small int slice, never a string.
+func (sc *sigCtx) signature(u topo.NodeID, forallForall bool) int32 {
+	a, p := sc.adj, sc.p
+	ws := sc.ws[:0]
 	if forallForall {
-		reach := make(map[polGroup][]int)
+		// Group out-edges by (policy key, neighbor group).
+		reach := make(map[uint64][]int, len(a.out[u]))
 		for _, le := range a.out[u] {
-			pg := polGroup{le.tok, p.Find(int(le.nbr))}
+			pg := packTok(false, le.tok, p.Find(int(le.nbr)))
 			reach[pg] = append(reach[pg], int(le.nbr))
 		}
 		for pg, vs := range reach {
-			b := make([]byte, 0, 64)
-			b = append(b, 'o', '|')
-			b = append(b, pg.tok...)
-			b = append(b, '|', 'g')
-			b = strconv.AppendInt(b, int64(pg.group), 10)
+			tw := append(sc.tw[:0], pg)
 			// Record which members of the neighbor group u does NOT reach,
 			// always excluding u itself: nodes whose reach differs only by
 			// self-exclusion (the split copies of §4.3 never self-connect)
 			// must share a key, while partial adjacency (fattree pods)
 			// still separates correctly.
-			missing := missedMembers(p, pg.group, int(u), vs)
+			missing := missedMembers(p, int(pg&0xffffffff), int(u), vs)
 			if len(missing) == 0 {
-				b = append(b, "|full"...)
+				tw = append(tw, 1)
 			} else {
-				b = append(b, "|miss"...)
+				tw = append(tw, 0)
 				for _, v := range missing {
-					b = strconv.AppendInt(b, int64(v), 10)
-					b = append(b, ',')
+					tw = append(tw, uint64(v))
 				}
 			}
-			toks = append(toks, string(b))
+			sc.tw = tw
+			ws = append(ws, packTok(false, sc.toks.intern(tw), 0))
 		}
 	} else {
 		for _, le := range a.out[u] {
-			b := make([]byte, 0, 48)
-			b = append(b, 'o', '|')
-			b = append(b, le.tok...)
-			b = append(b, '|', 'g')
-			b = strconv.AppendInt(b, int64(p.Find(int(le.nbr))), 10)
-			toks = append(toks, string(b))
+			ws = append(ws, packTok(false, le.tok, p.Find(int(le.nbr))))
 		}
 	}
 	for _, le := range a.in[u] {
-		b := make([]byte, 0, 48)
-		b = append(b, 'i', '|')
-		b = append(b, le.tok...)
-		b = append(b, '|', 'g')
-		b = strconv.AppendInt(b, int64(p.Find(int(le.nbr))), 10)
-		toks = append(toks, string(b))
+		ws = append(ws, packTok(true, le.tok, p.Find(int(le.nbr))))
 	}
-	sort.Strings(toks)
-	toks = dedupStrings(toks)
-	return strings.Join(toks, ";")
+	slices.Sort(ws)
+	ws = slices.Compact(ws)
+	sc.ws = ws
+	return sc.sigs.intern(ws)
 }
 
 // missedMembers returns the members of group that u does not reach via vs,
@@ -471,14 +584,4 @@ func missedMembers(p *usf.Partition, group, u int, vs []int) []int {
 		}
 	}
 	return missing // Members() is sorted, so missing is too
-}
-
-func dedupStrings(s []string) []string {
-	out := s[:0]
-	for i, x := range s {
-		if i == 0 || x != s[i-1] {
-			out = append(out, x)
-		}
-	}
-	return out
 }

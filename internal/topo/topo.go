@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a vertex within one Graph.
@@ -26,6 +27,11 @@ type Graph struct {
 	succ  [][]NodeID // succ[u] = nodes u has edges to (u learns from them)
 	pred  [][]NodeID
 	edges map[Edge]bool
+	// edgeList memoises Edges(): hot paths (refinement, assembly, instance
+	// construction) iterate the sorted edge list far more often than the
+	// graph mutates. Atomic so concurrent readers of a finished graph can
+	// populate the cache without a data race; mutations clear it.
+	edgeList atomic.Pointer[[]Edge]
 }
 
 // New returns an empty graph.
@@ -95,6 +101,7 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	g.edges[e] = true
 	g.succ[u] = append(g.succ[u], v)
 	g.pred[v] = append(g.pred[v], u)
+	g.edgeList.Store(nil)
 }
 
 // AddLink inserts both directed edges between u and v.
@@ -112,8 +119,13 @@ func (g *Graph) Succ(u NodeID) []NodeID { return g.succ[u] }
 // Pred returns the vertices with edges to u. The caller must not modify it.
 func (g *Graph) Pred(u NodeID) []NodeID { return g.pred[u] }
 
-// Edges returns all directed edges in deterministic order.
+// Edges returns all directed edges in deterministic order. The returned
+// slice is shared (memoised until the next mutation) — callers must not
+// modify it.
 func (g *Graph) Edges() []Edge {
+	if p := g.edgeList.Load(); p != nil {
+		return *p
+	}
 	out := make([]Edge, 0, len(g.edges))
 	for e := range g.edges {
 		out = append(out, e)
@@ -124,6 +136,7 @@ func (g *Graph) Edges() []Edge {
 		}
 		return out[i].V < out[j].V
 	})
+	g.edgeList.Store(&out)
 	return out
 }
 

@@ -85,14 +85,16 @@ func (p *Partition) Split(xs []int) []int {
 }
 
 // Refine splits group id by key: members with equal keys stay together.
-// It returns true if the group actually split. Keys are compared as strings.
-func (p *Partition) Refine(id int, key func(x int) string) bool {
+// It returns true if the group actually split. Keys are opaque integers —
+// typically interned signature IDs, so callers compare semantic signatures
+// without materialising them as strings.
+func (p *Partition) Refine(id int, key func(x int) int64) bool {
 	members := p.member[id]
 	if len(members) <= 1 {
 		return false
 	}
-	byKey := make(map[string][]int)
-	order := []string{}
+	byKey := make(map[int64][]int)
+	order := []int64{}
 	for _, x := range members {
 		k := key(x)
 		if _, ok := byKey[k]; !ok {
@@ -103,7 +105,7 @@ func (p *Partition) Refine(id int, key func(x int) string) bool {
 	if len(byKey) == 1 {
 		return false
 	}
-	sort.Strings(order) // deterministic split order
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] }) // deterministic split order
 	// Keep the first key class in place; split the rest out.
 	for _, k := range order[1:] {
 		p.Split(byKey[k])

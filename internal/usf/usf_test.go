@@ -1,7 +1,6 @@
 package usf
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -59,7 +58,7 @@ func TestSplitAcrossGroups(t *testing.T) {
 
 func TestRefine(t *testing.T) {
 	p := New(8)
-	split := p.Refine(p.Find(0), func(x int) string { return fmt.Sprint(x % 3) })
+	split := p.Refine(p.Find(0), func(x int) int64 { return int64(x % 3) })
 	if !split {
 		t.Fatal("Refine reported no split")
 	}
@@ -74,14 +73,14 @@ func TestRefine(t *testing.T) {
 		}
 	}
 	// Refining a uniform group changes nothing.
-	if p.Refine(p.Find(0), func(int) string { return "k" }) {
+	if p.Refine(p.Find(0), func(int) int64 { return 7 }) {
 		t.Fatal("uniform refine reported split")
 	}
 }
 
 func TestSnapshotOrdering(t *testing.T) {
 	p := New(7)
-	p.Refine(p.Find(0), func(x int) string { return fmt.Sprint(x % 2) })
+	p.Refine(p.Find(0), func(x int) int64 { return int64(x % 2) })
 	groups, idx := p.Snapshot()
 	if len(groups) != 2 {
 		t.Fatalf("snapshot groups = %d", len(groups))
@@ -104,7 +103,7 @@ func TestInvariantsRandom(t *testing.T) {
 	for step := 0; step < 200; step++ {
 		k := rng.Intn(4) + 1
 		id := p.Groups()[rng.Intn(p.NumGroups())]
-		p.Refine(id, func(x int) string { return fmt.Sprint(x % (k + 1)) })
+		p.Refine(id, func(x int) int64 { return int64(x % (k + 1)) })
 		// Invariant: groups partition 0..39.
 		seen := make(map[int]int)
 		total := 0

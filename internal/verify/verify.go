@@ -38,11 +38,19 @@ type Result struct {
 	AbstractNodeSum int64         // total abstract nodes across classes (bonsai mode)
 	Compress        time.Duration // time spent compressing (bonsai mode)
 	Total           time.Duration
+	// DistinctAbstractions counts the abstractions actually computed by the
+	// Builder's cross-EC deduplication cache (bonsai mode); the remaining
+	// classes were served a shared abstraction.
+	DistinctAbstractions int
 }
 
 func (r *Result) String() string {
-	return fmt.Sprintf("%s: classes=%d pairs=%d reachable=%d compress=%v total=%v",
+	s := fmt.Sprintf("%s: classes=%d pairs=%d reachable=%d compress=%v total=%v",
 		r.Mode, r.Classes, r.Pairs, r.ReachablePairs, r.Compress, r.Total)
+	if r.Mode == "bonsai" {
+		s += fmt.Sprintf(" distinctAbs=%d", r.DistinctAbstractions)
+	}
+	return s
 }
 
 // Options configures a verification run.
@@ -106,7 +114,10 @@ func AllPairsBonsai(b *build.Builder, opts Options) (*Result, error) {
 	// One policy compiler per worker: BDD managers are not safe for
 	// concurrent use, but sharing one across a worker's classes amortises
 	// BDD construction exactly as the paper's implementation does (§7:
-	// BDDs are built once, classes are compressed in parallel).
+	// BDDs are built once, classes are compressed in parallel). On top of
+	// that, Builder.Compress deduplicates whole abstractions across classes,
+	// so workers hitting an already-compressed fingerprint skip refinement
+	// entirely.
 	compilers := make([]*policy.Compiler, opts.workers())
 	for i := range compilers {
 		compilers[i] = b.NewCompiler(true)
@@ -138,6 +149,7 @@ func AllPairsBonsai(b *build.Builder, opts Options) (*Result, error) {
 		return nil
 	})
 	res.Total = time.Since(start)
+	res.DistinctAbstractions, _, _ = b.AbstractionCacheStats()
 	return res, err
 }
 
