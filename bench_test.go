@@ -7,9 +7,10 @@
 // and compare against EXPERIMENTS.md. Custom metrics report the quantities
 // the paper tabulates (abstract nodes/links, compression ratios, roles,
 // speedups) alongside wall-clock timings.
-package bonsai
+package bonsai_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -186,7 +187,7 @@ func BenchmarkBatfishQuery(b *testing.B) {
 		mode := mode
 		b.Run(mode, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ok, _, err := verify.Reach(bd, "leaf-1-00", dest, mode == "bonsai")
+				ok, _, err := verify.Reach(context.Background(), bd, nil, "leaf-1-00", dest, mode == "bonsai")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -219,7 +220,7 @@ func BenchmarkAblationTagErasure(b *testing.B) {
 			var absNodes int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				abs, err := bd.Compress(comp, cls)
+				abs, err := bd.Compress(context.Background(), comp, cls)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -246,7 +247,7 @@ func BenchmarkAblationSharedCompiler(b *testing.B) {
 		comp := bd.NewCompiler(true)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := bd.CompressFresh(comp, classes[i%len(classes)]); err != nil {
+			if _, err := bd.CompressFresh(context.Background(), comp, classes[i%len(classes)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -254,7 +255,7 @@ func BenchmarkAblationSharedCompiler(b *testing.B) {
 	b.Run("fresh-per-class", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			comp := bd.NewCompiler(true)
-			if _, err := bd.CompressFresh(comp, classes[i%len(classes)]); err != nil {
+			if _, err := bd.CompressFresh(context.Background(), comp, classes[i%len(classes)]); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,28 +1,29 @@
 // Command bonsai is the command-line front end to the control-plane
 // compression library: generate evaluation networks, compress them,
 // simulate the control plane, count router roles, and answer reachability
-// queries with or without compression.
+// queries with or without compression. Every subcommand except gen is a
+// thin client of the public bonsai package — the same engine a library
+// consumer embeds.
 //
 //	bonsai gen -topo fattree -k 8 > net.txt
-//	bonsai compress -f net.txt
+//	bonsai compress -f net.txt [-json]
 //	bonsai compress -f net.txt -dest 10.0.0.0/24 -write-abstract
 //	bonsai simulate -f net.txt -dest 10.0.0.0/24
 //	bonsai verify -f net.txt -src edge-1-1 -dest 10.0.0.0/24 -bonsai
+//	bonsai verify -f net.txt -all-pairs -json
 //	bonsai roles -f net.txt
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"bonsai/internal/build"
-	"bonsai/internal/config"
-	"bonsai/internal/ec"
+	"bonsai"
 	"bonsai/internal/netgen"
-	"bonsai/internal/srp"
-	"bonsai/internal/verify"
 )
 
 func main() {
@@ -53,24 +54,43 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles> [flags]
   gen       -topo fattree|ring|mesh|dc|wan [-k N] [-n N] [-policy shortest|prefer-bottom]
-  compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N]
-  simulate  -f FILE -dest PREFIX
-  verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair]
-  roles     -f FILE [-no-erase] [-no-statics]`)
+  compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N] [-json]
+  simulate  -f FILE -dest PREFIX [-json]
+  verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair] [-json]
+  roles     -f FILE [-no-erase] [-no-statics] [-json]`)
 	os.Exit(2)
 }
 
-func loadNetwork(path string) (*build.Builder, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// engineFlags holds the flags shared by every engine-backed subcommand.
+type engineFlags struct {
+	file    *string
+	jsonOut *bool
+}
+
+// addEngineFlags registers the shared flags on fs.
+func addEngineFlags(fs *flag.FlagSet) engineFlags {
+	return engineFlags{
+		file:    fs.String("f", "", "network file"),
+		jsonOut: fs.Bool("json", false, "emit the structured result as JSON"),
 	}
-	defer f.Close()
-	net, err := config.Parse(f)
-	if err != nil {
-		return nil, err
+}
+
+// open parses the shared flags' network file into an Engine.
+func (ef engineFlags) open() (*bonsai.Engine, error) {
+	if *ef.file == "" {
+		return nil, fmt.Errorf("-f required")
 	}
-	return build.New(net)
+	return bonsai.OpenFile(*ef.file)
+}
+
+// emit prints v as indented JSON when -json was given and returns true.
+func (ef engineFlags) emit(v any) (bool, error) {
+	if !*ef.jsonOut {
+		return false, nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return true, enc.Encode(v)
 }
 
 func cmdGen(args []string) error {
@@ -81,7 +101,7 @@ func cmdGen(args []string) error {
 	pol := fs.String("policy", "shortest", "fattree policy: shortest|prefer-bottom")
 	fs.Parse(args)
 
-	var net *config.Network
+	var net *bonsai.Network
 	switch *topoName {
 	case "fattree":
 		p := netgen.PolicyShortestPath
@@ -100,162 +120,147 @@ func cmdGen(args []string) error {
 	default:
 		return fmt.Errorf("unknown topology %q", *topoName)
 	}
-	return config.Print(os.Stdout, net)
+	return bonsai.Print(os.Stdout, net)
 }
 
 func cmdCompress(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	file := fs.String("f", "", "network file")
+	ef := addEngineFlags(fs)
 	dest := fs.String("dest", "", "compress only this destination prefix")
 	writeAbstract := fs.Bool("write-abstract", false, "print the compressed configuration (requires -dest)")
 	maxClasses := fs.Int("max", 0, "max destination classes (0 = all)")
 	fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("compress: -f required")
-	}
-	b, err := loadNetwork(*file)
+	eng, err := ef.open()
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 
-	classes := b.Classes()
-	if *dest != "" {
-		cls, err := ec.ClassFor(b.Cfg, *dest)
+	if *writeAbstract {
+		if *dest == "" {
+			return fmt.Errorf("compress: -write-abstract requires -dest")
+		}
+		absCfg, err := eng.AbstractNetwork(ctx, *dest)
 		if err != nil {
 			return err
 		}
-		classes = []ec.Class{cls}
-	} else if *maxClasses > 0 && len(classes) > *maxClasses {
-		classes = classes[:*maxClasses]
+		return bonsai.Print(os.Stdout, absCfg)
 	}
 
-	bddStart := time.Now()
-	comp := b.NewCompiler(true)
-	bddSetup := time.Since(bddStart)
-
-	var sumNodes, sumEdges int
-	start := time.Now()
-	for _, cls := range classes {
-		abs, err := b.Compress(comp, cls)
-		if err != nil {
-			return err
-		}
-		sumNodes += abs.NumAbstractNodes()
-		sumEdges += abs.NumAbstractEdges()
-		if *writeAbstract && *dest != "" {
-			absCfg, err := b.AbstractConfig(cls, abs)
-			if err != nil {
-				return err
-			}
-			return config.Print(os.Stdout, absCfg)
-		}
+	rep, err := eng.Compress(ctx, bonsai.ClassSelector{Prefix: *dest, MaxClasses: *maxClasses})
+	if err != nil {
+		return err
 	}
-	elapsed := time.Since(start)
-	nc := float64(len(classes))
+	if done, err := ef.emit(rep); done {
+		return err
+	}
 	fmt.Printf("network: %d nodes, %d links, %d interfaces, %d classes (compressed %d)\n",
-		b.G.NumNodes(), b.G.NumLinks(), b.Cfg.NumInterfaces(), len(b.Classes()), len(classes))
+		rep.Network.Routers, rep.Network.Links, rep.Network.Interfaces,
+		rep.Network.Classes, rep.ClassesCompressed)
 	fmt.Printf("abstract: avg %.1f nodes / %.1f links (%.2fx / %.2fx)\n",
-		float64(sumNodes)/nc, float64(sumEdges)/nc,
-		float64(b.G.NumNodes())*nc/float64(sumNodes),
-		float64(b.G.NumLinks())*nc/float64(sumEdges))
-	fresh, transported, served := b.AbstractionCacheStats()
+		rep.AvgAbstractNodes(), rep.AvgAbstractLinks(), rep.NodeRatio, rep.LinkRatio)
 	fmt.Printf("dedup: %d compressed fresh, %d transported by symmetry, %d served from cache (of %d classes)\n",
-		fresh, transported, served, len(classes))
+		rep.Cache.Fresh, rep.Cache.Transported, rep.Cache.Served, rep.ClassesCompressed)
 	fmt.Printf("time: bdd setup %v, compression %v total (%v per class)\n",
-		bddSetup.Round(time.Millisecond), elapsed.Round(time.Millisecond),
-		(elapsed / time.Duration(len(classes))).Round(time.Microsecond))
+		rep.BDDSetup.Round(time.Millisecond), rep.Duration.Round(time.Millisecond),
+		(rep.Duration / time.Duration(max(rep.ClassesCompressed, 1))).Round(time.Microsecond))
 	return nil
 }
 
 func cmdSimulate(args []string) error {
 	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
-	file := fs.String("f", "", "network file")
+	ef := addEngineFlags(fs)
 	dest := fs.String("dest", "", "destination prefix")
 	fs.Parse(args)
-	if *file == "" || *dest == "" {
+	if *dest == "" {
 		return fmt.Errorf("simulate: -f and -dest required")
 	}
-	b, err := loadNetwork(*file)
+	eng, err := ef.open()
 	if err != nil {
 		return err
 	}
-	cls, err := ec.ClassFor(b.Cfg, *dest)
+	rep, err := eng.Routes(context.Background(), *dest)
 	if err != nil {
 		return err
 	}
-	inst, err := b.Instance(cls)
-	if err != nil {
+	if done, err := ef.emit(rep); done {
 		return err
 	}
-	sol, err := srp.Solve(inst)
-	if err != nil {
-		return err
-	}
-	for _, u := range b.G.Nodes() {
-		var hops []string
-		for _, v := range sol.Fwd[u] {
-			hops = append(hops, b.G.Name(v))
-		}
-		fmt.Printf("%-16s label=%v fwd=%v\n", b.G.Name(u), sol.Label[u], hops)
+	for _, r := range rep.Routes {
+		fmt.Printf("%-16s label=%v fwd=%v\n", r.Router, r.Label, r.NextHops)
 	}
 	return nil
 }
 
 func cmdVerify(args []string) error {
 	fs := flag.NewFlagSet("verify", flag.ExitOnError)
-	file := fs.String("f", "", "network file")
+	ef := addEngineFlags(fs)
 	src := fs.String("src", "", "source router")
 	dest := fs.String("dest", "", "destination prefix")
 	allPairs := fs.Bool("all-pairs", false, "verify all-pairs reachability")
-	bonsai := fs.Bool("bonsai", false, "compress before verifying")
+	useBonsai := fs.Bool("bonsai", false, "compress before verifying")
 	perPair := fs.Bool("per-pair", false, "per-query certification (Minesweeper-style cost)")
 	maxClasses := fs.Int("max", 0, "max destination classes")
 	fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("verify: -f required")
-	}
-	b, err := loadNetwork(*file)
+	eng, err := ef.open()
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
 	if *allPairs {
-		opts := verify.Options{MaxClasses: *maxClasses, PerPairCertification: *perPair}
-		var res *verify.Result
-		if *bonsai {
-			res, err = verify.AllPairsBonsai(b, opts)
-		} else {
-			res, err = verify.AllPairsConcrete(b, opts)
-		}
+		rep, err := eng.Verify(ctx, bonsai.VerifyRequest{
+			Concrete:   !*useBonsai,
+			PerPair:    *perPair,
+			MaxClasses: *maxClasses,
+		})
 		if err != nil {
 			return err
 		}
-		fmt.Println(res)
+		if done, err := ef.emit(rep); done {
+			return err
+		}
+		fmt.Println(rep)
 		return nil
 	}
 	if *src == "" || *dest == "" {
 		return fmt.Errorf("verify: -src and -dest (or -all-pairs) required")
 	}
-	ok, dur, err := verify.Reach(b, *src, *dest, *bonsai)
+	var res *bonsai.ReachResult
+	if *useBonsai {
+		res, err = eng.Reach(ctx, *src, *dest)
+	} else {
+		res, err = eng.ReachConcrete(ctx, *src, *dest)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("reachable=%v in %v\n", ok, dur.Round(time.Microsecond))
+	if done, err := ef.emit(res); done {
+		return err
+	}
+	fmt.Printf("reachable=%v in %v\n", res.Reachable, res.Duration.Round(time.Microsecond))
 	return nil
 }
 
 func cmdRoles(args []string) error {
 	fs := flag.NewFlagSet("roles", flag.ExitOnError)
-	file := fs.String("f", "", "network file")
+	ef := addEngineFlags(fs)
 	noErase := fs.Bool("no-erase", false, "count unused communities as distinct")
 	noStatics := fs.Bool("no-statics", false, "ignore static routes")
 	fs.Parse(args)
-	if *file == "" {
-		return fmt.Errorf("roles: -f required")
-	}
-	b, err := loadNetwork(*file)
+	eng, err := ef.open()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%d roles among %d routers\n", b.RoleCount(!*noErase, *noStatics), b.G.NumNodes())
+	rep, err := eng.Roles(context.Background(), bonsai.RolesRequest{
+		NoErase:   *noErase,
+		NoStatics: *noStatics,
+	})
+	if err != nil {
+		return err
+	}
+	if done, err := ef.emit(rep); done {
+		return err
+	}
+	fmt.Printf("%d roles among %d routers\n", rep.Roles, rep.Routers)
 	return nil
 }

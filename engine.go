@@ -1,0 +1,438 @@
+package bonsai
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bonsai/internal/build"
+	"bonsai/internal/config"
+	"bonsai/internal/core"
+	"bonsai/internal/ec"
+	"bonsai/internal/policy"
+	"bonsai/internal/srp"
+	"bonsai/internal/verify"
+)
+
+// Engine is a long-lived compression and verification session over one
+// network. It is safe for concurrent use: queries fan out over a worker
+// pool, compiled-policy state lives in a pool of single-owner BDD
+// compilers, and Apply swaps the network atomically while in-flight queries
+// finish against the pre-delta state.
+type Engine struct {
+	opts options
+
+	// state is the current immutable snapshot; Apply builds a successor
+	// off-line and swaps the pointer.
+	state atomic.Pointer[engineState]
+	// applyMu serialises Apply calls (queries never take it).
+	applyMu sync.Mutex
+	// pool holds idle policy compilers. A compiler is owned by exactly one
+	// goroutine between acquire and release; compilers whose community
+	// universe no longer matches the current network are dropped on
+	// acquire.
+	pool chan *pooledCompiler
+}
+
+// engineState is one immutable network snapshot.
+type engineState struct {
+	cfg      *config.Network
+	b        *build.Builder
+	universe string // community-universe key a compiler must match
+}
+
+type pooledCompiler struct {
+	comp     *policy.Compiler
+	universe string
+}
+
+// Open validates net and builds an Engine over it. The network is cloned,
+// so the caller may keep mutating its copy; use Apply to change the
+// engine's.
+func Open(net *Network, opts ...Option) (*Engine, error) {
+	if net == nil {
+		return nil, fmt.Errorf("bonsai: nil network")
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := net.Clone()
+	b, err := build.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{opts: o}
+	e.pool = make(chan *pooledCompiler, o.workerCount()+2)
+	e.state.Store(&engineState{cfg: cfg, b: b, universe: universeKey(cfg)})
+	return e, nil
+}
+
+// OpenFile parses the network file at path and opens an Engine over it.
+func OpenFile(path string, opts ...Option) (*Engine, error) {
+	net, err := ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(net, opts...)
+}
+
+// universeKey renders the matched-community universe; compilers compiled
+// over a different universe (different BDD variable layout) must not serve
+// the network.
+func universeKey(cfg *config.Network) string {
+	return fmt.Sprint(cfg.MatchedCommunities())
+}
+
+// Network returns the engine's current configuration snapshot. The result
+// is shared with the engine and must be treated as read-only; Clone it
+// before editing.
+func (e *Engine) Network() *Network { return e.state.Load().cfg }
+
+// Stats snapshots the cross-class abstraction cache.
+func (e *Engine) Stats() CacheStats {
+	return cacheStats(e.state.Load().b)
+}
+
+// Classes lists the destination equivalence classes of the current network
+// as prefix strings, in their deterministic order.
+func (e *Engine) Classes() []string {
+	st := e.state.Load()
+	classes := st.b.Classes()
+	out := make([]string, len(classes))
+	for i, cls := range classes {
+		out[i] = cls.Prefix.String()
+	}
+	return out
+}
+
+func cacheStats(b *build.Builder) CacheStats {
+	s := b.AbstractionCacheStats()
+	return CacheStats{Fresh: s.Fresh, Transported: s.Transported, Served: s.Served, Adopted: s.Adopted}
+}
+
+// acquire checks a compiler out of the pool for st, discarding pooled
+// compilers whose universe is stale and creating a fresh one when the pool
+// runs dry.
+func (e *Engine) acquire(st *engineState) *pooledCompiler {
+	for {
+		select {
+		case pc := <-e.pool:
+			if pc.universe != st.universe {
+				continue // stale variable layout; drop it
+			}
+			// The compiler's relation cache follows it across updates:
+			// Apply transplants caches via Builder.AdoptCompilerCaches, and
+			// Builder.cacheFor lazily registers any compiler it has not
+			// seen.
+			return pc
+		default:
+			return &pooledCompiler{
+				comp:     st.b.NewCompilerSized(true, e.opts.bddCacheBits),
+				universe: st.universe,
+			}
+		}
+	}
+}
+
+// release returns a compiler to the pool, dropping it when full.
+func (e *Engine) release(pc *pooledCompiler) {
+	select {
+	case e.pool <- pc:
+	default:
+	}
+}
+
+// classesFor resolves a selector against the current class list.
+func (e *Engine) classesFor(st *engineState, sel ClassSelector) ([]ec.Class, error) {
+	if sel.Prefix != "" {
+		cls, err := st.b.ClassFor(sel.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		return []ec.Class{cls}, nil
+	}
+	classes := st.b.Classes()
+	max := sel.MaxClasses
+	if max == 0 {
+		max = e.opts.maxClasses
+	}
+	if max > 0 && len(classes) > max {
+		classes = classes[:max]
+	}
+	return classes, nil
+}
+
+// Compress compresses the selected destination classes, sharing cached
+// abstractions across identical and symmetric classes (unless the engine
+// was opened with WithDedup(false)).
+func (e *Engine) Compress(ctx context.Context, sel ClassSelector) (*CompressReport, error) {
+	st := e.state.Load()
+	classes, err := e.classesFor(st, sel)
+	if err != nil {
+		return nil, err
+	}
+	workers := e.opts.workerCount()
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bddStart := time.Now()
+	comps := make([]*pooledCompiler, workers)
+	for i := range comps {
+		comps[i] = e.acquire(st)
+	}
+	defer func() {
+		for _, pc := range comps {
+			e.release(pc)
+		}
+	}()
+	bddSetup := time.Since(bddStart)
+
+	var mu sync.Mutex
+	var sumNodes, sumLinks int
+	start := time.Now()
+	err = verify.ForEachClass(ctx, classes, workers, func(w int, cls ec.Class) error {
+		var abs *core.Abstraction
+		var err error
+		if e.opts.dedup {
+			abs, err = st.b.Compress(ctx, comps[w].comp, cls)
+		} else {
+			abs, err = st.b.CompressFresh(ctx, comps[w].comp, cls)
+		}
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		sumNodes += abs.NumAbstractNodes()
+		sumLinks += abs.NumAbstractEdges()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := &CompressReport{
+		Network:           e.networkInfo(st),
+		ClassesCompressed: len(classes),
+		SumAbstractNodes:  sumNodes,
+		SumAbstractLinks:  sumLinks,
+		Cache:             cacheStats(st.b),
+		BDDSetup:          bddSetup,
+		Duration:          time.Since(start),
+	}
+	if sumNodes > 0 {
+		rep.NodeRatio = float64(st.b.G.NumNodes()*len(classes)) / float64(sumNodes)
+	}
+	if sumLinks > 0 {
+		rep.LinkRatio = float64(st.b.G.NumLinks()*len(classes)) / float64(sumLinks)
+	}
+	return rep, nil
+}
+
+func (e *Engine) networkInfo(st *engineState) NetworkInfo {
+	return NetworkInfo{
+		Name:       st.cfg.Name,
+		Routers:    st.b.G.NumNodes(),
+		Links:      st.b.G.NumLinks(),
+		Interfaces: st.cfg.NumInterfaces(),
+		Classes:    len(st.b.Classes()),
+	}
+}
+
+// AbstractNetwork compresses the class owning destPrefix and writes the
+// abstraction back out as a (smaller) configuration.
+func (e *Engine) AbstractNetwork(ctx context.Context, destPrefix string) (*Network, error) {
+	st := e.state.Load()
+	cls, err := st.b.ClassFor(destPrefix)
+	if err != nil {
+		return nil, err
+	}
+	pc := e.acquire(st)
+	defer e.release(pc)
+	abs, err := st.b.Compress(ctx, pc.comp, cls)
+	if err != nil {
+		return nil, err
+	}
+	return st.b.AbstractConfig(cls, abs)
+}
+
+// Verify runs an all-pairs reachability verification and returns its
+// structured report.
+func (e *Engine) Verify(ctx context.Context, req VerifyRequest) (*Report, error) {
+	st := e.state.Load()
+	workers := req.Workers
+	if workers <= 0 {
+		workers = e.opts.workerCount()
+	}
+	max := req.MaxClasses
+	if max == 0 {
+		max = e.opts.maxClasses
+	}
+	opts := verify.Options{
+		MaxClasses:           max,
+		Workers:              workers,
+		PerPairCertification: req.PerPair,
+	}
+	var res *verify.Result
+	var err error
+	if req.Concrete {
+		res, err = verify.AllPairsConcrete(ctx, st.b, opts)
+	} else {
+		comps := make([]*pooledCompiler, workers)
+		opts.Compilers = make([]*policy.Compiler, workers)
+		for i := range comps {
+			comps[i] = e.acquire(st)
+			opts.Compilers[i] = comps[i].comp
+		}
+		defer func() {
+			for _, pc := range comps {
+				e.release(pc)
+			}
+		}()
+		res, err = verify.AllPairsBonsai(ctx, st.b, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Mode:                 res.Mode,
+		Classes:              res.Classes,
+		Pairs:                res.Pairs,
+		ReachablePairs:       res.ReachablePairs,
+		AbstractNodeSum:      res.AbstractNodeSum,
+		DistinctAbstractions: res.DistinctAbstractions,
+		CompressTime:         res.Compress,
+		Total:                res.Total,
+		Cache:                cacheStats(st.b),
+	}, nil
+}
+
+// Reach answers one reachability query on the compressed network, serving
+// the class's abstraction from the warm cache when possible.
+func (e *Engine) Reach(ctx context.Context, src, destPrefix string) (*ReachResult, error) {
+	return e.reach(ctx, src, destPrefix, true)
+}
+
+// ReachConcrete answers one reachability query by simulating the concrete
+// network, bypassing compression entirely.
+func (e *Engine) ReachConcrete(ctx context.Context, src, destPrefix string) (*ReachResult, error) {
+	return e.reach(ctx, src, destPrefix, false)
+}
+
+func (e *Engine) reach(ctx context.Context, src, destPrefix string, compressed bool) (*ReachResult, error) {
+	st := e.state.Load()
+	var comp *policy.Compiler
+	if compressed {
+		pc := e.acquire(st)
+		defer e.release(pc)
+		comp = pc.comp
+	}
+	ok, dur, err := verify.Reach(ctx, st.b, comp, src, destPrefix, compressed)
+	if err != nil {
+		return nil, err
+	}
+	return &ReachResult{Reachable: ok, Compressed: compressed, Duration: dur}, nil
+}
+
+// Roles counts the behavioral router roles of the network (paper §8).
+func (e *Engine) Roles(ctx context.Context, req RolesRequest) (*RolesReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := e.state.Load()
+	return &RolesReport{
+		Roles:   st.b.RoleCount(!req.NoErase, req.NoStatics),
+		Routers: st.b.G.NumNodes(),
+	}, nil
+}
+
+// Routes simulates the concrete control plane for the class owning
+// destPrefix and returns every router's converged state.
+func (e *Engine) Routes(ctx context.Context, destPrefix string) (*RoutesReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st := e.state.Load()
+	cls, err := st.b.ClassFor(destPrefix)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := st.b.Instance(cls)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := srp.Solve(inst)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RoutesReport{Dest: cls.Prefix.String()}
+	for _, u := range st.b.G.Nodes() {
+		entry := RouteEntry{
+			Router: st.b.G.Name(u),
+			Label:  fmt.Sprint(sol.Label[u]),
+		}
+		for _, v := range sol.Fwd[u] {
+			entry.NextHops = append(entry.NextHops, st.b.G.Name(v))
+		}
+		rep.Routes = append(rep.Routes, entry)
+	}
+	return rep, nil
+}
+
+// Apply atomically applies a configuration delta. It rebuilds the
+// network's topology tables, then carries every cached abstraction that is
+// still valid across the change: classes the delta provably cannot touch
+// (per the edge→class liveness index) are adopted directly, the rest are
+// re-validated with an O(E) stability sweep, and only the classes the
+// delta actually affected are invalidated — they recompress lazily on
+// their next query. Queries running concurrently with Apply finish against
+// the pre-delta snapshot; queries started after Apply returns see the
+// post-delta network and the surviving warm cache.
+func (e *Engine) Apply(ctx context.Context, d Delta) (*ApplyReport, error) {
+	if d.empty() {
+		return nil, fmt.Errorf("bonsai: empty delta")
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	start := time.Now()
+	st := e.state.Load()
+	cfg2 := st.cfg.Clone()
+	if err := d.apply(cfg2); err != nil {
+		return nil, err
+	}
+	b2, err := build.New(cfg2)
+	if err != nil {
+		return nil, fmt.Errorf("bonsai: delta produces invalid network: %w", err)
+	}
+	// Keep the compiled-policy pool warm: relation caches transfer because
+	// unchanged routers share their policy namespaces with the old config.
+	b2.AdoptCompilerCaches(st.b)
+	st2 := &engineState{cfg: cfg2, b: b2, universe: universeKey(cfg2)}
+
+	pc := e.acquire(st2)
+	defer e.release(pc)
+
+	stats, err := b2.AdoptFrom(ctx, pc.comp, st.b, build.AdoptDelta{
+		TouchedRouters: d.touchedRouters(),
+	})
+	if err != nil {
+		return nil, err // state not swapped; the old snapshot stays live
+	}
+	e.state.Store(st2)
+	return &ApplyReport{
+		Classes:             len(b2.Classes()),
+		Adopted:             stats.Adopted,
+		Unchanged:           stats.Unchanged,
+		Reassembled:         stats.Reassembled,
+		Invalidated:         stats.Invalidated,
+		InvalidatedPrefixes: stats.InvalidatedPrefixes,
+		NewClasses:          stats.NewClasses,
+		RemovedClasses:      stats.Removed,
+		Duration:            time.Since(start),
+	}, nil
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
@@ -84,7 +85,7 @@ func main() {
 	}
 
 	comp := b.NewCompiler(true)
-	abs, err := b.Compress(comp, cls)
+	abs, err := b.Compress(context.Background(), comp, cls)
 	if err != nil {
 		log.Fatal(err)
 	}

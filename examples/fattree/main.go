@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -44,7 +45,7 @@ func main() {
 		start := time.Now()
 		var sumNodes, sumEdges int
 		for _, cls := range classes {
-			abs, err := b.Compress(comp, cls)
+			abs, err := b.Compress(context.Background(), comp, cls)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -60,7 +61,7 @@ func main() {
 
 		for i := 0; i < *verifyN && i < len(classes); i++ {
 			cls := classes[i]
-			abs, err := b.Compress(comp, cls)
+			abs, err := b.Compress(context.Background(), comp, cls)
 			if err != nil {
 				log.Fatal(err)
 			}

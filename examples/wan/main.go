@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -41,7 +42,7 @@ func main() {
 	var sumNodes, sumEdges int
 	start := time.Now()
 	for _, cls := range classes {
-		abs, err := b.Compress(comp, cls)
+		abs, err := b.Compress(context.Background(), comp, cls)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func main() {
 	dest := classes[0].Prefix.String()
 	src := fmt.Sprintf("sw-%03d-0", *sites-1)
 	for _, bonsai := range []bool{false, true} {
-		ok, dur, err := verify.Reach(b, src, dest, bonsai)
+		ok, dur, err := verify.Reach(context.Background(), b, nil, src, dest, bonsai)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func main() {
 
 	if *printAbstract {
 		cls := classes[0]
-		abs, err := b.Compress(comp, cls)
+		abs, err := b.Compress(context.Background(), comp, cls)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package abstraction
 
 import (
+	"context"
 	"testing"
 
 	"bonsai/internal/build"
@@ -56,7 +57,7 @@ func TestGeneratedNetworksSatisfyConditions(t *testing.T) {
 		}
 		comp := b.NewCompiler(true)
 		for _, cls := range b.Classes() {
-			abs, err := b.Compress(comp, cls)
+			abs, err := b.Compress(context.Background(), comp, cls)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}

@@ -53,15 +53,21 @@ type Manager struct {
 	sat    []satEntry
 }
 
-// Cache geometry. Sizes are fixed (lossy caches never grow); powers of two
-// keep the index computation a mask. The binary/ITE caches dominate and get
-// the largest tables; entries are 16 bytes, so the total is ~2.3 MiB per
-// Manager.
+// Default cache geometry. Sizes are fixed per Manager (lossy caches never
+// grow); powers of two keep the index computation a mask. The binary/ITE
+// caches dominate and get the largest tables; entries are 16 bytes, so the
+// default total is ~2.3 MiB per Manager. NewSized scales every table
+// relative to these defaults.
 const (
-	iteCacheBits   = 16
-	applyCacheBits = 16
-	unaryCacheBits = 14
-	satCacheBits   = 13
+	// DefaultCacheBits is the default size exponent of the ITE/apply
+	// operation caches (2^bits slots each); the unary and sat-count caches
+	// stay 4x and 8x smaller respectively.
+	DefaultCacheBits = 16
+
+	// MinCacheBits and MaxCacheBits bound NewSized's exponent: below 8 the
+	// unary/sat tables degenerate, above 24 one manager costs gigabytes.
+	MinCacheBits = 8
+	MaxCacheBits = 24
 )
 
 // iteEntry caches ITE(f, g, h) = r. f < 0 marks an empty slot.
@@ -97,17 +103,35 @@ const (
 	opSupport
 )
 
-// New creates a manager for numVars boolean variables.
-func New(numVars int) *Manager {
+// New creates a manager for numVars boolean variables with the default
+// operation-cache geometry.
+func New(numVars int) *Manager { return NewSized(numVars, DefaultCacheBits) }
+
+// NewSized creates a manager whose operation caches hold 2^cacheBits slots
+// (ITE and binary apply; the unary and sat-count caches scale down with
+// them). Larger caches trade memory for fewer lossy evictions on
+// policy-heavy networks; cacheBits is clamped to [MinCacheBits,
+// MaxCacheBits], and 0 (or any out-of-range value on the low side) selects
+// the defaults.
+func NewSized(numVars, cacheBits int) *Manager {
 	if numVars < 0 {
 		panic("bdd: negative variable count")
 	}
+	if cacheBits <= 0 {
+		cacheBits = DefaultCacheBits
+	}
+	if cacheBits < MinCacheBits {
+		cacheBits = MinCacheBits
+	}
+	if cacheBits > MaxCacheBits {
+		cacheBits = MaxCacheBits
+	}
 	m := &Manager{
 		nvars:  int32(numVars),
-		ite:    make([]iteEntry, 1<<iteCacheBits),
-		apply2: make([]applyEntry, 1<<applyCacheBits),
-		unary:  make([]unaryEntry, 1<<unaryCacheBits),
-		sat:    make([]satEntry, 1<<satCacheBits),
+		ite:    make([]iteEntry, 1<<cacheBits),
+		apply2: make([]applyEntry, 1<<cacheBits),
+		unary:  make([]unaryEntry, 1<<(cacheBits-2)),
+		sat:    make([]satEntry, 1<<(cacheBits-3)),
 	}
 	for i := range m.ite {
 		m.ite[i].f = -1
@@ -236,7 +260,7 @@ func (m *Manager) Not(a Node) Node {
 	case True:
 		return False
 	}
-	e := &m.unary[mix3(a, Node(opNot), 0)&(1<<unaryCacheBits-1)]
+	e := &m.unary[mix3(a, Node(opNot), 0)&uint32(len(m.unary)-1)]
 	if e.a == a && e.op == opNot && e.arg == 0 {
 		return e.r
 	}
@@ -304,7 +328,7 @@ func (m *Manager) Xor(a, b Node) Node {
 
 // applyCached consults the lossy binary-operation cache before recursing.
 func (m *Manager) applyCached(op uint8, a, b Node) Node {
-	e := &m.apply2[mix3(a, b, Node(op))&(1<<applyCacheBits-1)]
+	e := &m.apply2[mix3(a, b, Node(op))&uint32(len(m.apply2)-1)]
 	if e.a == a && e.b == b && e.op == op {
 		return e.r
 	}
@@ -361,7 +385,7 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	case g == False && h == True:
 		return m.Not(f)
 	}
-	e := &m.ite[mix3(f, g, h)&(1<<iteCacheBits-1)]
+	e := &m.ite[mix3(f, g, h)&uint32(len(m.ite)-1)]
 	if e.f == f && e.g == g && e.h == h {
 		return e.r
 	}
@@ -403,7 +427,7 @@ func (m *Manager) Restrict(n Node, v int, val bool) Node {
 	if val {
 		op = opRestrictT
 	}
-	e := &m.unary[mix3(n, Node(op), Node(v))&(1<<unaryCacheBits-1)]
+	e := &m.unary[mix3(n, Node(op), Node(v))&uint32(len(m.unary)-1)]
 	if e.a == n && e.op == op && e.arg == int32(v) {
 		return e.r
 	}
@@ -430,7 +454,7 @@ func (m *Manager) Exists(n Node, v int) Node {
 	if nn.level > int32(v) {
 		return n
 	}
-	e := &m.unary[mix3(n, Node(opExists), Node(v))&(1<<unaryCacheBits-1)]
+	e := &m.unary[mix3(n, Node(opExists), Node(v))&uint32(len(m.unary)-1)]
 	if e.a == n && e.op == opExists && e.arg == int32(v) {
 		return e.r
 	}
@@ -478,7 +502,7 @@ func (m *Manager) satCountRec(n Node) float64 {
 	if n == True {
 		return 1
 	}
-	e := &m.sat[mix3(n, 0, 0)&(1<<satCacheBits-1)]
+	e := &m.sat[mix3(n, 0, 0)&uint32(len(m.sat)-1)]
 	if e.n == n {
 		return e.c
 	}

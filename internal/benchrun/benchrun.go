@@ -9,9 +9,12 @@
 package benchrun
 
 import (
+	"context"
 	"fmt"
 	"testing"
+	"time"
 
+	"bonsai"
 	"bonsai/internal/bdd"
 	"bonsai/internal/build"
 	"bonsai/internal/config"
@@ -43,9 +46,10 @@ func CompressSet(gen func() *config.Network, maxClasses int, dedup bool) func(b 
 		if maxClasses > 0 && len(classes) > maxClasses {
 			classes = classes[:maxClasses]
 		}
+		ctx := context.Background()
 		comp := bd.NewCompiler(true)
 		// Warm BDD tables (the paper reports BDD build time separately).
-		if _, err := bd.CompressFresh(comp, classes[0]); err != nil {
+		if _, err := bd.CompressFresh(ctx, comp, classes[0]); err != nil {
 			b.Fatal(err)
 		}
 		var last *core.Abstraction
@@ -56,9 +60,9 @@ func CompressSet(gen func() *config.Network, maxClasses int, dedup bool) func(b 
 			for _, cls := range classes {
 				var abs *core.Abstraction
 				if dedup {
-					abs, err = bd.Compress(comp, cls)
+					abs, err = bd.Compress(ctx, comp, cls)
 				} else {
-					abs, err = bd.CompressFresh(comp, cls)
+					abs, err = bd.CompressFresh(ctx, comp, cls)
 				}
 				if err != nil {
 					b.Fatal(err)
@@ -67,16 +71,16 @@ func CompressSet(gen func() *config.Network, maxClasses int, dedup bool) func(b 
 			}
 		}
 		b.StopTimer()
-		fresh, transported, served := bd.AbstractionCacheStats()
+		st := bd.AbstractionCacheStats()
 		b.ReportMetric(float64(len(classes)), "classes")
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(classes)), "ns/class")
 		b.ReportMetric(float64(last.NumAbstractNodes()), "absNodes")
 		b.ReportMetric(float64(last.NumAbstractEdges()), "absLinks")
 		b.ReportMetric(float64(bd.G.NumNodes())/float64(last.NumAbstractNodes()), "nodeRatio")
 		if dedup {
-			b.ReportMetric(float64(fresh), "freshAbs")
-			b.ReportMetric(float64(transported), "transportedAbs")
-			b.ReportMetric(float64(served), "cacheServed")
+			b.ReportMetric(float64(st.Fresh), "freshAbs")
+			b.ReportMetric(float64(st.Transported), "transportedAbs")
+			b.ReportMetric(float64(st.Served), "cacheServed")
 		}
 	}
 }
@@ -98,9 +102,9 @@ func Fig12(gen func() *config.Network, bonsai bool, maxClasses int) func(b *test
 			bd.InvalidateAbstractionCache()
 			var res *verify.Result
 			if bonsai {
-				res, err = verify.AllPairsBonsai(bd, opts)
+				res, err = verify.AllPairsBonsai(context.Background(), bd, opts)
 			} else {
-				res, err = verify.AllPairsConcrete(bd, opts)
+				res, err = verify.AllPairsConcrete(context.Background(), bd, opts)
 			}
 			if err != nil {
 				b.Fatal(err)
@@ -141,6 +145,121 @@ func BDDAdder(nbits int) func(b *testing.B) {
 				b.Fatal("unsatisfiable carry")
 			}
 		}
+	}
+}
+
+// ApplyWarm benchmarks the incremental-update path on a warm engine: open
+// and fully compress once outside the timer, then each iteration flaps the
+// named link (down on even iterations, up on odd) via Engine.Apply. The
+// re-compression of the invalidated classes happens off-timer (queries pay
+// it lazily; the lazy-ns metric reports it). Compare ns/op against ColdOpen
+// on the same network: the ratio is the speedup of updating a warm engine
+// in place over rebuilding it, the >= 5x acceptance bar of the API
+// redesign.
+func ApplyWarm(gen func() *config.Network, linkA, linkB string) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		eng, err := bonsai.Open(gen(), bonsai.WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+			b.Fatal(err)
+		}
+		link := []bonsai.LinkRef{{A: linkA, B: linkB}}
+		var adopted, invalidated, lazyNs float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var d bonsai.Delta
+			if i%2 == 0 {
+				d.LinkDown = link
+			} else {
+				d.LinkUp = link
+			}
+			rep, err := eng.Apply(ctx, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			adopted += float64(rep.Adopted)
+			invalidated += float64(rep.Invalidated)
+			b.StopTimer()
+			lazyStart := time.Now()
+			if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+				b.Fatal(err)
+			}
+			lazyNs += float64(time.Since(lazyStart).Nanoseconds())
+			b.StartTimer()
+		}
+		b.StopTimer()
+		b.ReportMetric(adopted/float64(b.N), "adopted")
+		b.ReportMetric(invalidated/float64(b.N), "invalidated")
+		b.ReportMetric(lazyNs/float64(b.N), "lazy-recompress-ns")
+	}
+}
+
+// ColdOpen benchmarks the baseline Apply replaces: build a fresh engine
+// over the same network and compress every class from scratch.
+func ColdOpen(gen func() *config.Network) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		cfg := gen()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := bonsai.Open(cfg, bonsai.WithWorkers(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// WarmEngineQueries benchmarks the long-lived service workload of the
+// ROADMAP: one warm engine answering query traffic across a configuration
+// change. Each iteration runs nq compressed reachability queries, applies a
+// link-down delta, runs nq more queries, and restores the link.
+func WarmEngineQueries(gen func() *config.Network, linkA, linkB string, nq int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		cfg := gen()
+		eng, err := bonsai.Open(cfg, bonsai.WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+			b.Fatal(err)
+		}
+		dests := eng.Classes()
+		srcs := cfg.RouterNames()
+		link := []bonsai.LinkRef{{A: linkA, B: linkB}}
+		query := func(j int) {
+			res, err := eng.Reach(ctx, srcs[(j*13)%len(srcs)], dests[(j*7)%len(dests)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = res
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < nq; j++ {
+				query(j)
+			}
+			if _, err := eng.Apply(ctx, bonsai.Delta{LinkDown: link}); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < nq; j++ {
+				query(nq + j)
+			}
+			if _, err := eng.Apply(ctx, bonsai.Delta{LinkUp: link}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(2*nq), "queries/op")
 	}
 }
 
@@ -228,6 +347,21 @@ func Cases(smoke bool) []Case {
 			add(fmt.Sprintf("fig12/ring/nodes=%d/%s", n, mode), Fig12(gen, mode == "bonsai", 8))
 		}
 	}
+
+	// Incremental-update and warm-engine scenarios over the public bonsai
+	// API: the acceptance bar is apply-warm beating cold-open by >= 5x on
+	// fattree-180 for a single-link delta.
+	applyK, nq := 12, 16
+	aggName := "agg-5-0"
+	if smoke {
+		applyK, nq = 4, 4
+		aggName = "agg-3-0"
+	}
+	genApply := func() *config.Network { return netgen.Fattree(applyK, netgen.PolicyShortestPath) }
+	applyNodes := 5 * applyK * applyK / 4
+	add(fmt.Sprintf("incremental/fattree/nodes=%d/apply-warm", applyNodes), ApplyWarm(genApply, aggName, "core-0"))
+	add(fmt.Sprintf("incremental/fattree/nodes=%d/cold-open", applyNodes), ColdOpen(genApply))
+	add(fmt.Sprintf("warm-engine/fattree/nodes=%d/queries=%d", applyNodes, 2*nq), WarmEngineQueries(genApply, aggName, "core-0", nq))
 
 	add("bdd/adder64", BDDAdder(64))
 	return cs

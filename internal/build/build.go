@@ -72,6 +72,9 @@ type Builder struct {
 	classesOnce sync.Once
 	classes     []ec.Class
 
+	lpOnce sync.Once
+	lpUsed bool // some session route map sets a local preference (adopt.go)
+
 	mu         sync.Mutex
 	compCaches map[*policy.Compiler]*compilerCache
 	compOrder  []*policy.Compiler // registration order, for eviction
@@ -81,16 +84,21 @@ type Builder struct {
 	// Cross-EC deduplication (dedup.go, transport.go): classes are
 	// fingerprinted and compressed once per distinct fingerprint; symmetric
 	// classes are served by verified partition transport.
-	sigRMs         []rmRef
-	sigACLs        []aclRef
-	iso            *isoTables
-	absMu          sync.Mutex
-	absCache       map[string]*absEntry
+	sigRMs   []rmRef
+	sigACLs  []aclRef
+	iso      *isoTables
+	absMu    sync.Mutex
+	absCache map[string]*absEntry
+	// absByPrefix indexes completed cache entries by class prefix, so warm
+	// hits and incremental adoption skip recomputing the class fingerprint
+	// (prefix -> fp is deterministic within one Builder).
+	absByPrefix    map[netip.Prefix]string
 	isoIndex       map[uint64][]*absEntry
 	fpIntern       map[string]int32
 	absServed      int64
 	absFresh       int
 	absTransported int64
+	absAdopted     int
 }
 
 // maxCompilerCaches bounds the compiler->cache registry. Workflows that
@@ -111,15 +119,16 @@ func New(net *config.Network) (*Builder, error) {
 		return nil, fmt.Errorf("build: %w", err)
 	}
 	b := &Builder{
-		Cfg:        net,
-		G:          topo.New(),
-		bgpSess:    make(map[topo.Edge]bgpSession),
-		ospfAdj:    make(map[topo.Edge]ospfAdj),
-		compCaches: make(map[*policy.Compiler]*compilerCache),
-		roleCache:  make(map[[2]bool]int),
-		absCache:   make(map[string]*absEntry),
-		isoIndex:   make(map[uint64][]*absEntry),
-		fpIntern:   make(map[string]int32),
+		Cfg:         net,
+		G:           topo.New(),
+		bgpSess:     make(map[topo.Edge]bgpSession),
+		ospfAdj:     make(map[topo.Edge]ospfAdj),
+		compCaches:  make(map[*policy.Compiler]*compilerCache),
+		roleCache:   make(map[[2]bool]int),
+		absCache:    make(map[string]*absEntry),
+		absByPrefix: make(map[netip.Prefix]string),
+		isoIndex:    make(map[uint64][]*absEntry),
+		fpIntern:    make(map[string]int32),
 	}
 	names := net.RouterNames()
 	b.routers = make([]*config.Router, 0, len(names))
@@ -132,6 +141,9 @@ func New(net *config.Network) (*Builder, error) {
 		}
 	}
 	for _, l := range net.Links {
+		if l.Down {
+			continue // administratively down: no SRP adjacency
+		}
 		b.G.AddLink(b.G.MustLookup(l.A), b.G.MustLookup(l.B))
 	}
 	for _, e := range b.G.Edges() {
@@ -209,11 +221,17 @@ func (b *Builder) HasBGP() bool { return b.hasBGP }
 // A compiler (and its BDD manager) must only be used by one goroutine at a
 // time; create one per worker for parallel compression.
 func (b *Builder) NewCompiler(eraseUnusedTags bool) *policy.Compiler {
+	return b.NewCompilerSized(eraseUnusedTags, 0)
+}
+
+// NewCompilerSized is NewCompiler with an explicit BDD operation-cache size
+// exponent (see bdd.NewSized); 0 selects the default geometry.
+func (b *Builder) NewCompilerSized(eraseUnusedTags bool, bddCacheBits int) *policy.Compiler {
 	universe := b.fullUniverse
 	if eraseUnusedTags {
 		universe = b.erasedUniverse
 	}
-	c := policy.NewCompiler(universe)
+	c := policy.NewCompilerSized(universe, bddCacheBits)
 	b.mu.Lock()
 	b.register(c)
 	b.mu.Unlock()

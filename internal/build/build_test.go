@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"net/netip"
 	"reflect"
 	"testing"
@@ -245,7 +246,7 @@ func TestPrefsExactUnderEBGPReset(t *testing.T) {
 	if got := prefs(b.G.MustLookup("u")); got != 1 {
 		t.Fatalf("prefs(u) = %d, want 1 (preference must not leak across eBGP)", got)
 	}
-	abs, err := b.Compress(b.NewCompiler(true), cls)
+	abs, err := b.Compress(context.Background(), b.NewCompiler(true), cls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -309,7 +310,7 @@ func TestAbstractConfigRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	cls := b.Classes()[0]
-	abs, err := b.Compress(b.NewCompiler(true), cls)
+	abs, err := b.Compress(context.Background(), b.NewCompiler(true), cls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -374,7 +375,7 @@ func TestInstanceErrors(t *testing.T) {
 	if _, err := b.Instance(bad); err == nil {
 		t.Fatal("class with unknown origin accepted")
 	}
-	if _, err := b.Compress(b.NewCompiler(true), bad); err == nil {
+	if _, err := b.Compress(context.Background(), b.NewCompiler(true), bad); err == nil {
 		t.Fatal("Compress accepted unknown origin")
 	}
 }

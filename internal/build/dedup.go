@@ -26,6 +26,10 @@
 package build
 
 import (
+	"context"
+	"errors"
+	"net/netip"
+
 	"bonsai/internal/core"
 	"bonsai/internal/ec"
 	"bonsai/internal/policy"
@@ -39,17 +43,18 @@ type aclRef struct {
 
 // absEntry is one single-flight slot of the abstraction cache: the first
 // worker to claim a fingerprint computes (or transports) the abstraction
-// while later workers block on ready and share the result. Entries computed
-// by CompressFresh additionally carry the liveness and prefs vectors that
-// seed future symmetry transports.
+// while later workers block on ready and share the result. Every successful
+// entry carries its liveness and prefs vectors — fresh entries use them to
+// seed future symmetry transports, and incremental updates (adopt.go) use
+// them to carry entries across a configuration delta without BDD work.
 type absEntry struct {
 	ready chan struct{}
 	abs   *core.Abstraction
 	err   error
 
 	sig   *classSig
-	live  []bool // per edge index; only on fresh entries (transport seeds)
-	prefs []int  // per node; only on fresh entries (transport seeds)
+	live  []bool // per edge index, aligned with Builder.G.Edges()
+	prefs []int  // per node
 	done  bool   // set under absMu once abs/err are final
 }
 
@@ -98,21 +103,52 @@ func (b *Builder) collectSigRefs() {
 // Builder lock, and concurrent misses on one fingerprint are single-flighted
 // so the work happens once. The returned Abstraction may be shared and must
 // be treated as read-only (every consumer in this repository already does).
-func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+//
+// Cancelling ctx makes Compress return promptly with the context's error;
+// a cancelled single-flight claimer drops its cache slot, and waiters with
+// live contexts retry the dropped slot rather than inheriting the foreign
+// cancellation.
+func (b *Builder) Compress(ctx context.Context, comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Warm-hit fast path: the prefix index answers without recomputing the
+	// class fingerprint.
+	b.absMu.Lock()
+	if fp, ok := b.absByPrefix[cls.Prefix]; ok {
+		if e, ok := b.absCache[fp]; ok {
+			b.absServed++
+			b.absMu.Unlock()
+			if abs, err, retry := waitEntry(ctx, e); !retry {
+				return abs, err
+			}
+		} else {
+			b.absMu.Unlock()
+		}
+	} else {
+		b.absMu.Unlock()
+	}
 	sig, err := b.classSignature(cls)
 	if err != nil {
 		return nil, err
 	}
-	b.absMu.Lock()
-	if e, ok := b.absCache[sig.fp]; ok {
-		b.absServed++
+	var e *absEntry
+	for {
+		b.absMu.Lock()
+		if prev, ok := b.absCache[sig.fp]; ok {
+			b.absServed++
+			b.absByPrefix[cls.Prefix] = sig.fp
+			b.absMu.Unlock()
+			if abs, err, retry := waitEntry(ctx, prev); !retry {
+				return abs, err
+			}
+			continue
+		}
+		e = &absEntry{ready: make(chan struct{}), sig: sig}
+		b.absCache[sig.fp] = e
 		b.absMu.Unlock()
-		<-e.ready
-		return e.abs, e.err
+		break
 	}
-	e := &absEntry{ready: make(chan struct{}), sig: sig}
-	b.absCache[sig.fp] = e
-	b.absMu.Unlock()
 
 	// Miss path: only now pay for the O(E) edge-label vector (identity hits
 	// never need it), then snapshot completed transport seeds with a
@@ -130,13 +166,21 @@ func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstracti
 	var transported bool
 	for _, c := range cands {
 		if pi := b.findIso(c.sig, sig); pi != nil {
-			e.abs = b.transportAbs(c, sig, pi)
+			abs, live := b.transportAbs(c, sig, pi)
+			e.abs, e.live = abs, live
+			// The transported prefs vector, π-mapped from the seed, lets
+			// the entry survive an incremental update (adopt.go) without a
+			// policy re-scan.
+			e.prefs = make([]int, len(pi))
+			for u := range pi {
+				e.prefs[pi[u]] = c.prefs[u]
+			}
 			transported = true
 			break
 		}
 	}
 	if !transported {
-		e.abs, e.err = b.CompressFresh(comp, cls)
+		e.abs, e.err = b.CompressFresh(ctx, comp, cls)
 		if e.err == nil {
 			e.live = b.liveVec(comp, cls)
 			e.prefs = b.prefsVec(cls)
@@ -154,6 +198,7 @@ func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstracti
 		delete(b.absCache, sig.fp)
 	} else {
 		e.done = true
+		b.absByPrefix[cls.Prefix] = sig.fp
 		if transported {
 			b.absTransported++
 		} else {
@@ -168,13 +213,33 @@ func (b *Builder) Compress(comp *policy.Compiler, cls ec.Class) (*core.Abstracti
 	return e.abs, e.err
 }
 
+// waitEntry blocks on a single-flight slot. retry is true when the entry
+// failed with the *claimer's* context error while the waiter's own context
+// is still live: the claimer dropped the slot before closing ready, so the
+// waiter should re-claim it instead of surfacing a foreign cancellation.
+func waitEntry(ctx context.Context, e *absEntry) (abs *core.Abstraction, err error, retry bool) {
+	select {
+	case <-e.ready:
+		if e.err != nil && ctx.Err() == nil &&
+			(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+			return nil, nil, true
+		}
+		return e.abs, e.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), false
+	}
+}
+
 // CompressFresh compresses the class unconditionally, bypassing and not
 // populating the deduplication cache: canonical edge keys from comp's BDD
 // tables, abstraction refinement, and — when the network runs BGP — ∀∀
 // strengthening plus local-preference case splitting. It is the reference
 // implementation Compress is tested against, and what benchmarks use to
 // measure undeduplicated cost.
-func (b *Builder) CompressFresh(comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+func (b *Builder) CompressFresh(ctx context.Context, comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	dest, err := b.destOf(cls)
 	if err != nil {
 		return nil, err
@@ -191,14 +256,29 @@ func (b *Builder) CompressFresh(comp *policy.Compiler, cls ec.Class) (*core.Abst
 	return abs, nil
 }
 
-// AbstractionCacheStats reports the deduplication cache state: the number of
-// abstractions computed by full refinement (fresh), the number served by
-// symmetry transport, and the number of Compress calls answered from the
-// identity cache.
-func (b *Builder) AbstractionCacheStats() (fresh int, transported, served int64) {
+// CacheStats is the state of the cross-EC deduplication cache.
+type CacheStats struct {
+	// Fresh counts abstractions computed by full refinement.
+	Fresh int
+	// Transported counts abstractions served by symmetry transport.
+	Transported int64
+	// Served counts Compress calls answered from the identity cache.
+	Served int64
+	// Adopted counts abstractions carried across an incremental update by
+	// partition re-validation (AdoptAbstraction) instead of recompression.
+	Adopted int
+}
+
+// AbstractionCacheStats reports the deduplication cache state.
+func (b *Builder) AbstractionCacheStats() CacheStats {
 	b.absMu.Lock()
 	defer b.absMu.Unlock()
-	return b.absFresh, b.absTransported, b.absServed
+	return CacheStats{
+		Fresh:       b.absFresh,
+		Transported: b.absTransported,
+		Served:      b.absServed,
+		Adopted:     b.absAdopted,
+	}
 }
 
 // InvalidateAbstractionCache empties the deduplication cache and resets its
@@ -207,8 +287,10 @@ func (b *Builder) InvalidateAbstractionCache() {
 	b.absMu.Lock()
 	defer b.absMu.Unlock()
 	b.absCache = make(map[string]*absEntry)
+	b.absByPrefix = make(map[netip.Prefix]string)
 	b.isoIndex = make(map[uint64][]*absEntry)
 	b.absServed = 0
 	b.absFresh = 0
 	b.absTransported = 0
+	b.absAdopted = 0
 }

@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"reflect"
@@ -109,17 +110,18 @@ func TestDedupMatchesIndependentCompression(t *testing.T) {
 			}
 			comp := b.NewCompiler(true)
 			for _, cls := range b.Classes() {
-				got, err := b.Compress(comp, cls)
+				got, err := b.Compress(context.Background(), comp, cls)
 				if err != nil {
 					t.Fatal(err)
 				}
-				want, err := b.CompressFresh(comp, cls)
+				want, err := b.CompressFresh(context.Background(), comp, cls)
 				if err != nil {
 					t.Fatal(err)
 				}
 				absEqual(t, fmt.Sprintf("%s %v", tc.name, cls.Prefix), got, want)
 			}
-			fresh, transported, _ := b.AbstractionCacheStats()
+			cstats := b.AbstractionCacheStats()
+			fresh, transported := cstats.Fresh, cstats.Transported
 			if fresh+int(transported) != len(b.Classes()) {
 				t.Fatalf("cache accounting: fresh=%d transported=%d classes=%d",
 					fresh, transported, len(b.Classes()))
@@ -148,7 +150,7 @@ func TestDedupCacheRace(t *testing.T) {
 	comp := b.NewCompiler(true)
 	want := make([]*core.Abstraction, len(classes))
 	for i, cls := range classes {
-		if want[i], err = b.CompressFresh(comp, cls); err != nil {
+		if want[i], err = b.CompressFresh(context.Background(), comp, cls); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -165,7 +167,7 @@ func TestDedupCacheRace(t *testing.T) {
 			for round := 0; round < 3; round++ {
 				for i := range classes {
 					cls := classes[(i+w)%len(classes)]
-					abs, err := b.Compress(comp, cls)
+					abs, err := b.Compress(context.Background(), comp, cls)
 					if err != nil {
 						errs <- err
 						return

@@ -1,6 +1,7 @@
 package build
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestParallelCompress(t *testing.T) {
 	wantEdges := make([]int, len(classes))
 	seq := b.NewCompiler(true)
 	for i, cls := range classes {
-		abs, err := b.Compress(seq, cls)
+		abs, err := b.Compress(context.Background(), seq, cls)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func TestParallelCompress(t *testing.T) {
 			defer wg.Done()
 			comp := b.NewCompiler(true)
 			for i, cls := range classes {
-				abs, err := b.Compress(comp, cls)
+				abs, err := b.Compress(context.Background(), comp, cls)
 				if err != nil {
 					errCh <- err
 					return
@@ -77,7 +78,7 @@ func TestParallelMixedOperations(t *testing.T) {
 			comp := b.NewCompiler(w%2 == 0)
 			classes := b.Classes()
 			cls := classes[w%len(classes)]
-			abs, err := b.Compress(comp, cls)
+			abs, err := b.Compress(context.Background(), comp, cls)
 			if err != nil {
 				t.Error(err)
 				return

@@ -594,10 +594,12 @@ func (b *Builder) findIso(sa, sb *classSig) []topo.NodeID {
 
 // transportAbs rebuilds class sig's abstraction from a cached entry by
 // mapping its partition, liveness and prefs through π and re-running the
-// canonical assembly. The result is exactly what CompressFresh would return
-// for the class, because every phase before assembly commutes with π and
-// the cached entry is gated on ColorSplits == 0.
-func (b *Builder) transportAbs(cand *absEntry, sig *classSig, pi []topo.NodeID) *core.Abstraction {
+// canonical assembly, returning the abstraction together with the π-mapped
+// live-edge vector (aligned with b.G.Edges()). The result is exactly what
+// CompressFresh would return for the class, because every phase before
+// assembly commutes with π and the cached entry is gated on
+// ColorSplits == 0.
+func (b *Builder) transportAbs(cand *absEntry, sig *classSig, pi []topo.NodeID) (*core.Abstraction, []bool) {
 	t := b.iso
 	A := cand.abs
 	n := len(pi)
@@ -627,7 +629,7 @@ func (b *Builder) transportAbs(cand *absEntry, sig *classSig, pi []topo.NodeID) 
 		Iterations:  A.Iterations,
 		ColorSplits: 0,
 	})
-	return abs
+	return abs, live
 }
 
 // liveVec records, per edge index, whether the edge is live for the class —

@@ -26,10 +26,14 @@ type Network struct {
 // Link is an undirected connection between two routers. Count models
 // parallel virtual interfaces (VLAN subinterfaces) sharing the link and the
 // same policies; it defaults to 1 and only affects interface accounting,
-// not routing.
+// not routing. Down marks the link administratively down: the routers'
+// session and interface configurations referencing it remain valid, but the
+// link carries no adjacency in the SRP topology — incremental updates flap
+// links by toggling this flag rather than rewriting neighbor state.
 type Link struct {
 	A, B  string
 	Count int
+	Down  bool
 }
 
 func (l Link) count() int {
@@ -127,12 +131,96 @@ func (n *Network) RouterNames() []string {
 
 // NumInterfaces counts directed interfaces including virtual multiplicity,
 // matching how the paper reports edge counts for the operational networks.
+// Administratively-down links do not count.
 func (n *Network) NumInterfaces() int {
 	total := 0
 	for _, l := range n.Links {
+		if l.Down {
+			continue
+		}
 		total += 2 * l.count()
 	}
 	return total
+}
+
+// FindLink returns the index in Links of the link joining a and b (in either
+// order), or -1 when none exists.
+func (n *Network) FindLink(a, b string) int {
+	for i, l := range n.Links {
+		if (l.A == a && l.B == b) || (l.A == b && l.B == a) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a structurally independent copy of the network: routers,
+// link records and all per-router slices and maps are fresh, so mutating the
+// clone never changes the original. Policy namespaces (Env) are shared
+// pointers — they are immutable by convention once a network is built; a
+// caller editing policies must first replace the router's Env via
+// CloneEnv.
+func (n *Network) Clone() *Network {
+	out := &Network{
+		Name:    n.Name,
+		Routers: make(map[string]*Router, len(n.Routers)),
+		Links:   append([]Link(nil), n.Links...),
+	}
+	for name, r := range n.Routers {
+		cr := &Router{
+			Name:      r.Name,
+			Env:       r.Env,
+			Statics:   append([]StaticRoute(nil), r.Statics...),
+			Originate: append([]netip.Prefix(nil), r.Originate...),
+			IfaceACL:  make(map[string]string, len(r.IfaceACL)),
+		}
+		for k, v := range r.IfaceACL {
+			cr.IfaceACL[k] = v
+		}
+		if r.BGP != nil {
+			cb := &BGPConfig{
+				ASN:                r.BGP.ASN,
+				Neighbors:          make(map[string]*Neighbor, len(r.BGP.Neighbors)),
+				RedistributeOSPF:   r.BGP.RedistributeOSPF,
+				RedistributeStatic: r.BGP.RedistributeStatic,
+			}
+			for peer, nb := range r.BGP.Neighbors {
+				c := *nb
+				cb.Neighbors[peer] = &c
+			}
+			cr.BGP = cb
+		}
+		if r.OSPF != nil {
+			co := &OSPFConfig{Ifaces: make(map[string]OSPFIface, len(r.OSPF.Ifaces))}
+			for peer, ifc := range r.OSPF.Ifaces {
+				co.Ifaces[peer] = ifc
+			}
+			cr.OSPF = co
+		}
+		out.Routers[name] = cr
+	}
+	return out
+}
+
+// CloneEnv replaces the router's policy namespace with a copy whose maps are
+// fresh (the named objects themselves stay shared — replace an entry to edit
+// it). Incremental updates call this before editing a router's policies so
+// that other clones sharing the original Env are unaffected.
+func (r *Router) CloneEnv() {
+	e := policy.NewEnv()
+	for k, v := range r.Env.PrefixLists {
+		e.PrefixLists[k] = v
+	}
+	for k, v := range r.Env.CommunityLists {
+		e.CommunityLists[k] = v
+	}
+	for k, v := range r.Env.RouteMaps {
+		e.RouteMaps[k] = v
+	}
+	for k, v := range r.Env.ACLs {
+		e.ACLs[k] = v
+	}
+	r.Env = e
 }
 
 // EnsureBGP returns the router's BGP config, creating it with the ASN.

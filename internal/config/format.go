@@ -32,7 +32,7 @@ import (
 //	    set community add|delete ASN:TAG
 //	  acl NAME permit|deny PREFIX [ge N] [le N]
 //	  iface-acl PEER ACL
-//	link A B [xN]
+//	link A B [xN] [down]
 //
 // Indentation is ignored; "router" opens a device context and match/set
 // lines attach to the most recent route-map clause.
@@ -70,17 +70,24 @@ func Parse(r io.Reader) (*Network, error) {
 			curClause, curMap = nil, ""
 		case "link":
 			if len(f) < 3 {
-				return nil, fail("link A B [xN]")
+				return nil, fail("link A B [xN] [down]")
 			}
-			count := 1
-			if len(f) == 4 {
-				c, err := strconv.Atoi(strings.TrimPrefix(f[3], "x"))
+			count, down := 1, false
+			for _, tok := range f[3:] {
+				if tok == "down" {
+					down = true
+					continue
+				}
+				c, err := strconv.Atoi(strings.TrimPrefix(tok, "x"))
 				if err != nil || c < 1 {
-					return nil, fail("bad link multiplicity %q", f[3])
+					return nil, fail("bad link multiplicity %q", tok)
 				}
 				count = c
 			}
 			net.AddLinkN(f[1], f[2], count)
+			if down {
+				net.Links[net.FindLink(f[1], f[2])].Down = true
+			}
 		case "bgp":
 			if cur == nil {
 				return nil, fail("bgp outside router")
@@ -439,10 +446,14 @@ func Print(w io.Writer, n *Network) error {
 	})
 	for _, l := range links {
 		if l.count() > 1 {
-			fmt.Fprintf(bw, "link %s %s x%d\n", l.A, l.B, l.count())
+			fmt.Fprintf(bw, "link %s %s x%d", l.A, l.B, l.count())
 		} else {
-			fmt.Fprintf(bw, "link %s %s\n", l.A, l.B)
+			fmt.Fprintf(bw, "link %s %s", l.A, l.B)
 		}
+		if l.Down {
+			fmt.Fprint(bw, " down")
+		}
+		fmt.Fprintln(bw)
 	}
 	return bw.Flush()
 }

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -59,7 +60,7 @@ func CompressNetwork(name string, net *config.Network, sampleECs int) (Table1Row
 	// reports independent per-EC compression cost (the dedup speedup is
 	// measured separately by BenchmarkTable1a*/dedup and bonsai-bench).
 	if len(sample) > 0 {
-		if _, err := b.CompressFresh(comp, sample[0]); err != nil {
+		if _, err := b.CompressFresh(context.Background(), comp, sample[0]); err != nil {
 			return Table1Row{}, err
 		}
 	}
@@ -68,7 +69,7 @@ func CompressNetwork(name string, net *config.Network, sampleECs int) (Table1Row
 	var sumNodes, sumLinks int
 	start := time.Now()
 	for _, cls := range sample {
-		abs, err := b.CompressFresh(comp, cls)
+		abs, err := b.CompressFresh(context.Background(), comp, cls)
 		if err != nil {
 			return Table1Row{}, err
 		}
@@ -205,7 +206,7 @@ func Figure11(k int) (Fig11Result, error) {
 			return res, err
 		}
 		comp := b.NewCompiler(true)
-		abs, err := b.Compress(comp, b.Classes()[0])
+		abs, err := b.Compress(context.Background(), comp, b.Classes()[0])
 		if err != nil {
 			return res, err
 		}
@@ -257,11 +258,11 @@ func Figure12(family string, sizes []int, maxClasses int) ([]Fig12Point, error) 
 			return nil, err
 		}
 		opts := verify.Options{MaxClasses: maxClasses, Workers: 1, PerPairCertification: true}
-		conc, err := verify.AllPairsConcrete(b, opts)
+		conc, err := verify.AllPairsConcrete(context.Background(), b, opts)
 		if err != nil {
 			return nil, err
 		}
-		bon, err := verify.AllPairsBonsai(b, opts)
+		bon, err := verify.AllPairsBonsai(context.Background(), b, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -295,13 +296,13 @@ func BatfishQuery(quick bool) (BatfishQueryResult, error) {
 	}
 	res := BatfishQueryResult{Src: "leaf-1-00"}
 	res.Dest = net.Routers["leaf-0-00"].Originate[0].String()
-	ok, dur, err := verify.Reach(b, res.Src, res.Dest, false)
+	ok, dur, err := verify.Reach(context.Background(), b, nil, res.Src, res.Dest, false)
 	if err != nil {
 		return res, err
 	}
 	res.Reachable = ok
 	res.Concrete = dur
-	ok2, dur2, err := verify.Reach(b, res.Src, res.Dest, true)
+	ok2, dur2, err := verify.Reach(context.Background(), b, nil, res.Src, res.Dest, true)
 	if err != nil {
 		return res, err
 	}

@@ -1,6 +1,7 @@
 package netgen
 
 import (
+	"context"
 	"testing"
 
 	"bonsai/internal/build"
@@ -17,7 +18,7 @@ func compressFirstClass(t *testing.T, b *build.Builder) (*srp.Instance, *srp.Ins
 	}
 	cls := classes[0]
 	comp := b.NewCompiler(true)
-	abs, err := b.Compress(comp, cls)
+	abs, err := b.Compress(context.Background(), comp, cls)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestFattreePreferBottomIsLarger(t *testing.T) {
 		t.Fatal(err)
 	}
 	clsS, clsP := bs.Classes()[0], bp.Classes()[0]
-	absS, err := bs.Compress(bs.NewCompiler(true), clsS)
+	absS, err := bs.Compress(context.Background(), bs.NewCompiler(true), clsS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	absP, err := bp.Compress(bp.NewCompiler(true), clsP)
+	absP, err := bp.Compress(context.Background(), bp.NewCompiler(true), clsP)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package netgen
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func TestPerfLarge(t *testing.T) {
 		start := time.Now()
 		comp := b.NewCompiler(true)
 		cls := classes[0]
-		abs, err := b.Compress(comp, cls)
+		abs, err := b.Compress(context.Background(), comp, cls)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -40,6 +40,12 @@ type Compiler struct {
 // implements the unused-tag-erasing attribute abstraction
 // h(lp, tags, path) = (lp, tags − unused, f(path)) from §8.
 func NewCompiler(universe []protocols.Community) *Compiler {
+	return NewCompilerSized(universe, 0)
+}
+
+// NewCompilerSized is NewCompiler with an explicit BDD operation-cache size
+// exponent (see bdd.NewSized); 0 selects the default geometry.
+func NewCompilerSized(universe []protocols.Community, cacheBits int) *Compiler {
 	comms := append([]protocols.Community(nil), universe...)
 	sort.Slice(comms, func(i, j int) bool { return comms[i] < comms[j] })
 	dedup := comms[:0]
@@ -56,7 +62,7 @@ func NewCompiler(universe []protocols.Community) *Compiler {
 	for i, cm := range comms {
 		c.commIdx[cm] = i
 	}
-	c.M = bdd.New(2*len(comms) + 2*LPBits + 1)
+	c.M = bdd.NewSized(2*len(comms)+2*LPBits+1, cacheBits)
 	return c
 }
 

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"bonsai/internal/build"
@@ -16,7 +17,7 @@ func BenchmarkCompressOneEC(b *testing.B) {
 	classes := bd.Classes()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := bd.Compress(comp, classes[i%len(classes)]); err != nil {
+		if _, err := bd.Compress(context.Background(), comp, classes[i%len(classes)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"bonsai/internal/build"
@@ -14,11 +15,11 @@ func TestFig12Probe(t *testing.T) {
 			t.Fatal(err)
 		}
 		opts := Options{Workers: 1, PerPairCertification: true}
-		conc, err := AllPairsConcrete(b, opts)
+		conc, err := AllPairsConcrete(context.Background(), b, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		bon, err := AllPairsBonsai(b, opts)
+		bon, err := AllPairsBonsai(context.Background(), b, opts)
 		if err != nil {
 			t.Fatal(err)
 		}

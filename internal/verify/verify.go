@@ -17,6 +17,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -67,6 +68,12 @@ type Options struct {
 	// shared by all sources of a class (Batfish-style), the cheapest
 	// possible baseline.
 	PerPairCertification bool
+	// Compilers, when it holds exactly workers() entries, supplies the
+	// per-worker policy compilers for the bonsai engine instead of fresh
+	// ones — long-lived callers pass pooled compilers so their BDD tables
+	// survive across calls. Each compiler is used by one worker goroutine
+	// for the duration of the call.
+	Compilers []*policy.Compiler
 }
 
 func (o Options) workers() int {
@@ -77,11 +84,13 @@ func (o Options) workers() int {
 }
 
 // AllPairsConcrete verifies all-pairs reachability on the concrete network.
-func AllPairsConcrete(b *build.Builder, opts Options) (*Result, error) {
+// Cancelling ctx stops the worker goroutines promptly and returns the
+// context's error.
+func AllPairsConcrete(ctx context.Context, b *build.Builder, opts Options) (*Result, error) {
 	classes := clip(b.Classes(), opts.MaxClasses)
 	res := &Result{Mode: "concrete", Classes: len(classes)}
 	start := time.Now()
-	err := forEachClass(classes, opts.workers(), func(_ int, cls ec.Class) error {
+	err := ForEachClass(ctx, classes, opts.workers(), func(_ int, cls ec.Class) error {
 		mkFIB := func() (*dataplane.FIB, error) {
 			inst, err := b.Instance(cls)
 			if err != nil {
@@ -93,7 +102,7 @@ func AllPairsConcrete(b *build.Builder, opts Options) (*Result, error) {
 			}
 			return dataplane.New(inst, sol, b.ACLPermitFunc(cls)), nil
 		}
-		pairs, ok, err := countReachable(mkFIB, opts.PerPairCertification)
+		pairs, ok, err := countReachable(ctx, mkFIB, opts.PerPairCertification)
 		if err != nil {
 			return err
 		}
@@ -106,8 +115,9 @@ func AllPairsConcrete(b *build.Builder, opts Options) (*Result, error) {
 
 // AllPairsBonsai verifies all-pairs reachability after compressing each
 // class with Bonsai. The reported time includes compression, as in
-// Figure 12.
-func AllPairsBonsai(b *build.Builder, opts Options) (*Result, error) {
+// Figure 12. Cancelling ctx stops the worker goroutines promptly (including
+// mid-compression) and returns the context's error.
+func AllPairsBonsai(ctx context.Context, b *build.Builder, opts Options) (*Result, error) {
 	classes := clip(b.Classes(), opts.MaxClasses)
 	res := &Result{Mode: "bonsai", Classes: len(classes)}
 	start := time.Now()
@@ -118,14 +128,17 @@ func AllPairsBonsai(b *build.Builder, opts Options) (*Result, error) {
 	// that, Builder.Compress deduplicates whole abstractions across classes,
 	// so workers hitting an already-compressed fingerprint skip refinement
 	// entirely.
-	compilers := make([]*policy.Compiler, opts.workers())
-	for i := range compilers {
-		compilers[i] = b.NewCompiler(true)
+	compilers := opts.Compilers
+	if len(compilers) != opts.workers() {
+		compilers = make([]*policy.Compiler, opts.workers())
+		for i := range compilers {
+			compilers[i] = b.NewCompiler(true)
+		}
 	}
-	err := forEachClass(classes, opts.workers(), func(worker int, cls ec.Class) error {
+	err := ForEachClass(ctx, classes, opts.workers(), func(worker int, cls ec.Class) error {
 		cStart := time.Now()
 		comp := compilers[worker]
-		abs, err := b.Compress(comp, cls)
+		abs, err := b.Compress(ctx, comp, cls)
 		if err != nil {
 			return err
 		}
@@ -141,7 +154,7 @@ func AllPairsBonsai(b *build.Builder, opts Options) (*Result, error) {
 			}
 			return dataplane.New(inst, sol, b.AbstractACLPermitFunc(cls, abs)), nil
 		}
-		pairs, ok, err := countReachable(mkFIB, opts.PerPairCertification)
+		pairs, ok, err := countReachable(ctx, mkFIB, opts.PerPairCertification)
 		if err != nil {
 			return err
 		}
@@ -149,15 +162,21 @@ func AllPairsBonsai(b *build.Builder, opts Options) (*Result, error) {
 		return nil
 	})
 	res.Total = time.Since(start)
-	res.DistinctAbstractions, _, _ = b.AbstractionCacheStats()
+	res.DistinctAbstractions = b.AbstractionCacheStats().Fresh
 	return res, err
 }
 
 // Reach answers a single reachability query: can traffic from src reach the
 // destination prefix? With useBonsai, the query runs on the compressed
-// network (src is mapped through the topology function f).
-func Reach(b *build.Builder, srcName, destPrefix string, useBonsai bool) (bool, time.Duration, error) {
+// network (src is mapped through the topology function f). comp, when
+// non-nil, supplies the policy compiler for the bonsai path — long-lived
+// callers pass one to reuse its BDD tables across queries; nil creates a
+// fresh compiler per call.
+func Reach(ctx context.Context, b *build.Builder, comp *policy.Compiler, srcName, destPrefix string, useBonsai bool) (bool, time.Duration, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return false, 0, err
+	}
 	cls, err := ec.ClassFor(b.Cfg, destPrefix)
 	if err != nil {
 		return false, 0, err
@@ -178,8 +197,10 @@ func Reach(b *build.Builder, srcName, destPrefix string, useBonsai bool) (bool, 
 		fib := dataplane.New(inst, sol, b.ACLPermitFunc(cls))
 		return fib.Reachable(src), time.Since(start), nil
 	}
-	comp := b.NewCompiler(true)
-	abs, err := b.Compress(comp, cls)
+	if comp == nil {
+		comp = b.NewCompiler(true)
+	}
+	abs, err := b.Compress(ctx, comp, cls)
 	if err != nil {
 		return false, 0, err
 	}
@@ -208,14 +229,18 @@ func Reach(b *build.Builder, srcName, destPrefix string, useBonsai bool) (bool, 
 
 // countReachable counts how many non-destination sources deliver traffic.
 // In per-pair mode the control plane analysis (mkFIB) is repeated for every
-// source, modelling a per-query verifier; otherwise one analysis is shared.
-func countReachable(mkFIB func() (*dataplane.FIB, error), perPair bool) (pairs, ok int64, err error) {
+// source, modelling a per-query verifier — that loop observes ctx so
+// cancellation interrupts even a single large class promptly.
+func countReachable(ctx context.Context, mkFIB func() (*dataplane.FIB, error), perPair bool) (pairs, ok int64, err error) {
 	fib, err := mkFIB()
 	if err != nil {
 		return 0, 0, err
 	}
 	if perPair {
 		for _, u := range fib.G.Nodes() {
+			if err := ctx.Err(); err != nil {
+				return pairs, ok, err
+			}
 			if u == fib.Dest {
 				continue
 			}
@@ -269,9 +294,17 @@ func addPairsCompress(r *Result, pairs, ok, absNodes int64, d time.Duration) {
 	r.Compress += d
 }
 
-func forEachClass(classes []ec.Class, workers int, f func(worker int, cls ec.Class) error) error {
+// ForEachClass fans f out over the classes with the given worker count;
+// each invocation receives its worker index (compilers are per-worker).
+// Cancelling ctx stops dispatch, drains the workers promptly and returns
+// the context's error. It is the shared fan-out primitive of the verify
+// engines and the public bonsai Engine.
+func ForEachClass(ctx context.Context, classes []ec.Class, workers int, f func(worker int, cls ec.Class) error) error {
 	if workers <= 1 {
 		for _, cls := range classes {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := f(0, cls); err != nil {
 				return err
 			}
@@ -287,7 +320,7 @@ func forEachClass(classes []ec.Class, workers int, f func(worker int, cls ec.Cla
 			defer wg.Done()
 			failed := false
 			for cls := range ch {
-				if failed {
+				if failed || ctx.Err() != nil {
 					continue // drain so the sender never blocks
 				}
 				if err := f(worker, cls); err != nil {
@@ -300,11 +333,19 @@ func forEachClass(classes []ec.Class, workers int, f func(worker int, cls ec.Cla
 			}
 		}(w)
 	}
+dispatch:
 	for _, cls := range classes {
-		ch <- cls
+		select {
+		case ch <- cls:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	select {
 	case err := <-errCh:
 		return err

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"testing"
 
 	"bonsai/internal/build"
@@ -18,11 +19,11 @@ func fattree4(t *testing.T) *build.Builder {
 
 func TestAllPairsConcreteAndBonsaiAgree(t *testing.T) {
 	b := fattree4(t)
-	conc, err := AllPairsConcrete(b, Options{Workers: 1})
+	conc, err := AllPairsConcrete(context.Background(), b, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bon, err := AllPairsBonsai(b, Options{Workers: 1})
+	bon, err := AllPairsBonsai(context.Background(), b, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,11 +46,11 @@ func TestAllPairsConcreteAndBonsaiAgree(t *testing.T) {
 
 func TestAllPairsParallelMatchesSequential(t *testing.T) {
 	b := fattree4(t)
-	seq, err := AllPairsConcrete(b, Options{Workers: 1})
+	seq, err := AllPairsConcrete(context.Background(), b, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := AllPairsConcrete(b, Options{Workers: 4})
+	par, err := AllPairsConcrete(context.Background(), b, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,11 +61,11 @@ func TestAllPairsParallelMatchesSequential(t *testing.T) {
 
 func TestAllPairsBonsaiParallelMatchesSequential(t *testing.T) {
 	b := fattree4(t)
-	seq, err := AllPairsBonsai(b, Options{Workers: 1})
+	seq, err := AllPairsBonsai(context.Background(), b, Options{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := AllPairsBonsai(b, Options{Workers: 4})
+	par, err := AllPairsBonsai(context.Background(), b, Options{Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestAllPairsBonsaiParallelMatchesSequential(t *testing.T) {
 
 func TestMaxClasses(t *testing.T) {
 	b := fattree4(t)
-	r, err := AllPairsConcrete(b, Options{MaxClasses: 3, Workers: 1})
+	r, err := AllPairsConcrete(context.Background(), b, Options{MaxClasses: 3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestReachQueryBothModes(t *testing.T) {
 	// Find the prefix originated by edge-0-0.
 	dest := b.Cfg.Routers["edge-0-0"].Originate[0].String()
 	for _, bonsai := range []bool{false, true} {
-		ok, _, err := Reach(b, "edge-1-1", dest, bonsai)
+		ok, _, err := Reach(context.Background(), b, nil, "edge-1-1", dest, bonsai)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,11 +100,11 @@ func TestReachQueryBothModes(t *testing.T) {
 		}
 	}
 	// Unknown source errors.
-	if _, _, err := Reach(b, "nope", dest, false); err == nil {
+	if _, _, err := Reach(context.Background(), b, nil, "nope", dest, false); err == nil {
 		t.Fatal("unknown source accepted")
 	}
 	// Unknown destination errors.
-	if _, _, err := Reach(b, "edge-1-1", "203.0.113.0/24", false); err == nil {
+	if _, _, err := Reach(context.Background(), b, nil, "edge-1-1", "203.0.113.0/24", false); err == nil {
 		t.Fatal("unknown destination accepted")
 	}
 }
@@ -128,7 +129,7 @@ func TestReachDetectsACLBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, bonsai := range []bool{false, true} {
-		ok, _, err := Reach(b, "edge-1-1", dest.String(), bonsai)
+		ok, _, err := Reach(context.Background(), b, nil, "edge-1-1", dest.String(), bonsai)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestReachDetectsACLBlock(t *testing.T) {
 		}
 		// The sibling edge router in pod 0 is also cut off (its only
 		// paths go through the pod aggs).
-		ok, _, err = Reach(b, "edge-0-1", dest.String(), bonsai)
+		ok, _, err = Reach(context.Background(), b, nil, "edge-0-1", dest.String(), bonsai)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,11 +156,11 @@ func TestBonsaiSpeedupOnLargerNetwork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	conc, err := AllPairsConcrete(b, Options{Workers: 1, MaxClasses: 8})
+	conc, err := AllPairsConcrete(context.Background(), b, Options{Workers: 1, MaxClasses: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
-	bon, err := AllPairsBonsai(b, Options{Workers: 1, MaxClasses: 8})
+	bon, err := AllPairsBonsai(context.Background(), b, Options{Workers: 1, MaxClasses: 8})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,35 @@
+package bonsai
+
+import (
+	"io"
+	"os"
+
+	"bonsai/internal/config"
+)
+
+// Network is a vendor-independent network configuration: routers with BGP,
+// OSPF and static routing plus policy namespaces, joined by links. It is an
+// alias of the internal configuration type, so values produced by Parse,
+// the generators under cmd/bonsai, or an Engine's AbstractNetwork all
+// interoperate.
+type Network = config.Network
+
+// Parse reads a Network from its text form (see the format documentation
+// in the repository README).
+func Parse(r io.Reader) (*Network, error) { return config.Parse(r) }
+
+// ParseString parses a Network from a string.
+func ParseString(s string) (*Network, error) { return config.ParseString(s) }
+
+// ParseFile parses a Network from a file.
+func ParseFile(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return config.Parse(f)
+}
+
+// Print writes the network's canonical text form to w.
+func Print(w io.Writer, n *Network) error { return config.Print(w, n) }

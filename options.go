@@ -1,0 +1,57 @@
+package bonsai
+
+import "runtime"
+
+// options collects the Engine's tunables; Open applies functional Options
+// over the defaults.
+type options struct {
+	workers      int
+	dedup        bool
+	bddCacheBits int
+	maxClasses   int
+}
+
+func defaultOptions() options {
+	return options{dedup: true}
+}
+
+// Option configures an Engine at Open time.
+type Option func(*options)
+
+// WithWorkers sets how many goroutines (each owning one BDD compiler) the
+// engine uses for compression and verification fan-out. Zero or negative
+// means GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithDedup enables or disables the cross-class abstraction deduplication
+// cache (identity sharing, symmetry transport, and adoption across
+// incremental updates). It defaults to on; disabling it makes every
+// Compress call run full abstraction refinement, which is the reference
+// behavior benchmarks compare against.
+func WithDedup(on bool) Option {
+	return func(o *options) { o.dedup = on }
+}
+
+// WithBDDCacheBits sets the size exponent of each BDD manager's operation
+// caches (2^bits slots; see the internal bdd package for the geometry).
+// Zero selects the default. Larger caches help policy-heavy networks at
+// ~16 bytes per slot per manager.
+func WithBDDCacheBits(bits int) Option {
+	return func(o *options) { o.bddCacheBits = bits }
+}
+
+// WithMaxClasses bounds how many destination equivalence classes queries
+// process by default; requests can still override it per call. Zero means
+// no bound.
+func WithMaxClasses(n int) Option {
+	return func(o *options) { o.maxClasses = n }
+}
+
+func (o options) workerCount() int {
+	if o.workers > 0 {
+		return o.workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
