@@ -6,9 +6,15 @@
 //	bonsai-bench -out BENCH_compress.json            # full suite
 //	bonsai-bench -smoke -out bench-smoke.json        # CI smoke run
 //	bonsai-bench -filter 'fattree' -out /dev/stdout  # one family
+//	bonsai-bench -smoke -out s.json -compare BENCH_smoke.json  # warn on >3x
+//	bonsai-bench -filter fresh -out f.json -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Compare two baselines by diffing the ns_per_op / metrics fields of equally
-// named cases; metric names match what `go test -bench` prints.
+// named cases; metric names match what `go test -bench` prints. -compare
+// automates that diff against a committed baseline, warning (never failing —
+// CI hardware differs from the baseline box) when a case's ns/class exceeds
+// 3x its baseline. -cpuprofile/-memprofile write pprof profiles of the run
+// for hot-path work on the compression engine.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 	"time"
 
@@ -45,9 +52,19 @@ type report struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a plain exit code, so that error paths unwind
+// through the deferred CPU-profile stop (an os.Exit inside would leave a
+// truncated profile file).
+func run() int {
 	smoke := flag.Bool("smoke", false, "run the reduced CI suite")
 	out := flag.String("out", "BENCH_compress.json", "output JSON path")
 	filter := flag.String("filter", "", "only run cases matching this regexp")
+	compare := flag.String("compare", "", "baseline JSON to diff against; warns (never fails) on >3x ns/class regressions")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
 
 	var re *regexp.Regexp
@@ -55,8 +72,23 @@ func main() {
 		var err error
 		if re, err = regexp.Compile(*filter); err != nil {
 			fmt.Fprintln(os.Stderr, "bonsai-bench: bad -filter:", err)
-			os.Exit(2)
+			return 2
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
+			f.Close()
+			return 1
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := report{
@@ -94,12 +126,84 @@ func main() {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	data = append(data, '\n')
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d cases)\n", *out, len(rep.Cases))
+
+	if *compare != "" {
+		warnRegressions(*compare, rep)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
+			return 1
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bonsai-bench:", err)
+			f.Close()
+			return 1
+		}
+		f.Close()
+	}
+	return 0
+}
+
+// regressionFactor is the ns/class (or ns/op) ratio above which -compare
+// prints a warning. Warnings never fail the run: CI machines differ from the
+// baseline box, so the diff is a smoke alarm, not a gate.
+const regressionFactor = 3.0
+
+// warnRegressions diffs equally named cases of the finished run against a
+// baseline report, comparing ns/class where both sides report it and falling
+// back to ns/op. It only ever warns.
+func warnRegressions(path string, rep report) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bonsai-bench: -compare:", err)
+		return
+	}
+	var base report
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "bonsai-bench: -compare:", err)
+		return
+	}
+	metric := func(c caseResult) (float64, string) {
+		if v, ok := c.Metrics["ns/class"]; ok && v > 0 {
+			return v, "ns/class"
+		}
+		return c.NsPerOp, "ns/op"
+	}
+	baseBy := make(map[string]caseResult, len(base.Cases))
+	for _, c := range base.Cases {
+		baseBy[c.Name] = c
+	}
+	compared, warned := 0, 0
+	for _, c := range rep.Cases {
+		bc, ok := baseBy[c.Name]
+		if !ok {
+			continue
+		}
+		got, unit := metric(c)
+		want, baseUnit := metric(bc)
+		if want <= 0 || unit != baseUnit {
+			// A unit mismatch (one side grew or lost the ns/class metric)
+			// would compare per-class time against whole-run time; skip.
+			continue
+		}
+		compared++
+		if got > regressionFactor*want {
+			warned++
+			fmt.Fprintf(os.Stderr, "WARNING: %s: %s %.0f vs baseline %.0f (%.1fx > %.1fx)\n",
+				c.Name, unit, got, want, got/want, regressionFactor)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "compared %d cases against %s: %d regression warning(s)\n",
+		compared, path, warned)
 }

@@ -85,6 +85,38 @@ func CompressSet(gen func() *config.Network, maxClasses int, dedup bool) func(b 
 	}
 }
 
+// FreshClass benchmarks CompressFresh on one destination class with warm
+// BDD tables: the raw Algorithm 1 hot path (refinement plus assembly),
+// isolated from policy compilation and from the cross-EC cache. ns/class and
+// the harness's allocs-per-op are the scaling metrics of the refinement
+// engine itself; CompressSet measures whole class sets.
+func FreshClass(gen func() *config.Network, classIdx int) func(b *testing.B) {
+	return func(b *testing.B) {
+		bd, err := build.New(gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes := bd.Classes()
+		cls := classes[classIdx%len(classes)]
+		ctx := context.Background()
+		comp := bd.NewCompiler(true)
+		// Warm the BDD and relation caches (the paper reports BDD build time
+		// separately); every timed iteration measures refinement alone.
+		if _, err := bd.CompressFresh(ctx, comp, cls); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bd.CompressFresh(ctx, comp, cls); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/class")
+	}
+}
+
 // Fig12 benchmarks one Figure-12 point: all-pairs reachability with
 // per-query certification, concrete versus compressed.
 func Fig12(gen func() *config.Network, bonsai bool, maxClasses int) func(b *testing.B) {
@@ -301,6 +333,25 @@ func Cases(smoke bool) []Case {
 		name := fmt.Sprintf("table1a/mesh/nodes=%d", n)
 		add(name+"/dedup", CompressSet(gen, 0, true))
 		add(name+"/independent-sample", CompressSet(gen, 8, false))
+	}
+
+	// Per-class scaling of the fresh compressor (the worklist refinement
+	// engine): one class, warm BDD tables, networks past the Table-1a sizes.
+	freshFatKs := []int{20, 40} // 500 and 2000 nodes
+	freshRings := []int{1000, 2000}
+	if smoke {
+		freshFatKs = []int{8}
+		freshRings = []int{100}
+	}
+	for _, k := range freshFatKs {
+		k := k
+		gen := func() *config.Network { return netgen.Fattree(k, netgen.PolicyShortestPath) }
+		add(fmt.Sprintf("fresh/fattree/nodes=%d/class", 5*k*k/4), FreshClass(gen, 0))
+	}
+	for _, n := range freshRings {
+		n := n
+		gen := func() *config.Network { return netgen.Ring(n) }
+		add(fmt.Sprintf("fresh/ring/nodes=%d/class", n), FreshClass(gen, 0))
 	}
 
 	dcOpts := netgen.DCOptions{}

@@ -69,6 +69,17 @@ type Builder struct {
 	bgpSess map[topo.Edge]bgpSession
 	ospfAdj map[topo.Edge]ospfAdj
 
+	// Flattened per-edge protocol tables, aligned with G.Edges(): the
+	// class-independent inputs of EdgeKeyVec as dense vectors, so the
+	// per-class edge-key derivation is array indexing instead of map
+	// lookups. shapes holds the distinct session descriptors; shapeOf maps
+	// each edge to its shape (-1 when the edge carries no BGP session), so
+	// each shape's relation is resolved once per class, not once per edge.
+	shapes    []bgpSession
+	shapeOf   []int32
+	ospfCost  []int32 // -1 when the edge has no OSPF adjacency
+	ospfCross []bool
+
 	classesOnce sync.Once
 	classes     []ec.Class
 
@@ -149,6 +160,7 @@ func New(net *config.Network) (*Builder, error) {
 	for _, e := range b.G.Edges() {
 		b.indexEdge(e)
 	}
+	b.buildEdgeTables()
 	b.collectSigRefs()
 	b.buildIsoTables()
 	b.erasedUniverse = net.MatchedCommunities()
@@ -189,6 +201,43 @@ func (b *Builder) indexEdge(e topo.Edge) {
 				cost = 1
 			}
 			b.ospfAdj[e] = ospfAdj{cost: cost, cross: uIf.Area != vIf.Area}
+		}
+	}
+}
+
+// buildEdgeTables flattens the per-edge protocol maps into vectors aligned
+// with G.Edges(), interning distinct BGP session descriptors to shape ids.
+// Runs once from New; everything here is class-independent.
+func (b *Builder) buildEdgeTables() {
+	edges := b.G.Edges()
+	b.shapeOf = make([]int32, len(edges))
+	b.ospfCost = make([]int32, len(edges))
+	b.ospfCross = make([]bool, len(edges))
+	shapeIDs := make(map[bgpSession]int32)
+	for i, e := range edges {
+		b.shapeOf[i] = -1
+		b.ospfCost[i] = -1
+		if sess, ok := b.bgpSess[e]; ok {
+			// The identity map is namespace-independent (same normalisation
+			// as edgeRelation's cache key): without it every router's Env
+			// pointer would make every session a distinct shape.
+			if sess.expMap == "" {
+				sess.expEnv = nil
+			}
+			if sess.impMap == "" {
+				sess.impEnv = nil
+			}
+			id, ok := shapeIDs[sess]
+			if !ok {
+				id = int32(len(b.shapes))
+				shapeIDs[sess] = id
+				b.shapes = append(b.shapes, sess)
+			}
+			b.shapeOf[i] = id
+		}
+		if adj, ok := b.ospfAdj[e]; ok {
+			b.ospfCost[i] = int32(adj.cost)
+			b.ospfCross[i] = adj.cross
 		}
 	}
 }

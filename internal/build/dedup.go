@@ -182,7 +182,9 @@ func (b *Builder) Compress(ctx context.Context, comp *policy.Compiler, cls ec.Cl
 	if !transported {
 		e.abs, e.err = b.CompressFresh(ctx, comp, cls)
 		if e.err == nil {
-			e.live = b.liveVec(comp, cls)
+			// The liveness vector refinement ran against, aligned with
+			// G.Edges() — no re-derivation of edge keys.
+			e.live = e.abs.Live
 			e.prefs = b.prefsVec(cls)
 			// Future transports read this entry's colors concurrently;
 			// compute them now, while the entry is still private, so no
@@ -249,9 +251,9 @@ func (b *Builder) CompressFresh(ctx context.Context, comp *policy.Compiler, cls 
 		mode = core.ModeBGP
 	}
 	abs := core.FindAbstraction(b.G, dest, core.Options{
-		Mode:    mode,
-		EdgeKey: b.EdgeKeyFunc(comp, cls),
-		Prefs:   b.PrefsFunc(cls),
+		Mode:     mode,
+		EdgeKeys: b.EdgeKeyVec(comp, cls),
+		Prefs:    b.PrefsFunc(cls),
 	})
 	return abs, nil
 }

@@ -171,6 +171,66 @@ func (b *Builder) EdgeKeyFunc(comp *policy.Compiler, cls ec.Class) func(u, v top
 	}
 }
 
+// EdgeKeyVec computes the canonical signatures of every directed edge for
+// one destination class, aligned with b.G.Edges(). It produces exactly the
+// keys EdgeKeyFunc would return, but derives them batch-wise: each distinct
+// session shape is resolved through comp's relation cache once, each
+// interface ACL is evaluated once, and applicable statics are marked by
+// edge index — per-class cost is O(E) vector writes plus O(shapes + ACLs +
+// statics) policy work, with none of the per-edge map lookups or
+// fingerprint rendering of the callback path. CompressFresh feeds the
+// vector to core.Options.EdgeKeys; the callback form remains for sparse
+// consumers (incremental adoption probes a handful of edges).
+func (b *Builder) EdgeKeyVec(comp *policy.Compiler, cls ec.Class) []core.EdgeKey {
+	cc := b.cacheFor(comp)
+	edges := b.G.Edges()
+	keys := make([]core.EdgeKey, len(edges))
+	type shapeRel struct {
+		rel  bdd.Node
+		live bool
+		ibgp bool
+	}
+	rels := make([]shapeRel, len(b.shapes))
+	for si, sess := range b.shapes {
+		ent := b.edgeRelation(comp, cc, sess, cls.Prefix)
+		if !ent.drops {
+			rels[si] = shapeRel{
+				rel:  cc.withRedist(ent.rel, sess.redistOSPF, sess.redistStatic),
+				live: true,
+				ibgp: sess.ibgp,
+			}
+		}
+	}
+	aclV := make([]bool, len(b.sigACLs))
+	for ai, a := range b.sigACLs {
+		aclV[ai] = a.env.ACLPermits(a.name, cls.Prefix)
+	}
+	for i := range edges {
+		k := &keys[i]
+		if si := b.shapeOf[i]; si >= 0 && rels[si].live {
+			k.BGP = true
+			k.IBGP = rels[si].ibgp
+			k.BGPRel = rels[si].rel
+		}
+		if c := b.ospfCost[i]; c >= 0 {
+			k.OSPF = true
+			k.OSPFCost = int(c)
+			k.OSPFCross = b.ospfCross[i]
+		}
+		if a := b.iso.aclIdx[i]; a >= 0 {
+			k.ACLPermit = aclV[a]
+		} else {
+			k.ACLPermit = true
+		}
+	}
+	for e := range b.staticEdges(cls) {
+		if j, ok := b.iso.edgeIdx[e]; ok {
+			keys[j].Static = true
+		}
+	}
+	return keys
+}
+
 // PrefsFunc returns prefs(u) for the class: the number of distinct BGP
 // local-preference values node u can hold for this destination (Theorem
 // 4.4's case-splitting bound). Because LOCAL_PREF is reset across eBGP
@@ -186,17 +246,23 @@ func (b *Builder) PrefsFunc(cls ec.Class) func(u topo.NodeID) int {
 	return func(u topo.NodeID) int { return prefs[u] }
 }
 
-// prefsVec computes prefs(u) for every node (see PrefsFunc).
+// prefsVec computes prefs(u) for every node (see PrefsFunc). Sessions are
+// read through the flattened shape tables (edge-index vectors, no map
+// lookups) and the value-set scratch map is reused across nodes, so the
+// per-class cost is one pass over the live adjacency.
 func (b *Builder) prefsVec(cls ec.Class) []int {
 	prefs := make([]int, b.G.NumNodes())
-	for _, u := range b.G.Nodes() {
-		vals := make(map[uint32]bool)
+	t := b.iso
+	vals := make(map[uint32]bool)
+	for u := range prefs {
+		clear(vals)
 		passthrough := false
-		for _, v := range b.G.Succ(u) {
-			sess, ok := b.bgpSess[topo.Edge{U: u, V: v}]
-			if !ok {
+		for _, ne := range t.nbrEdges[u] {
+			si := b.shapeOf[ne.out]
+			if si < 0 {
 				continue
 			}
+			sess := b.shapes[si]
 			sess.impEnv.LocalPrefValues(sess.impMap, cls.Prefix, vals)
 			if !sess.impEnv.LocalPrefPassesThrough(sess.impMap, cls.Prefix) {
 				continue
@@ -215,17 +281,18 @@ func (b *Builder) prefsVec(cls ec.Class) []int {
 			// own eBGP import maps can assign (iBGP-learned routes are not
 			// re-advertised, and an originated route holds the default).
 			senderDefault := false
-			for _, w := range b.G.Succ(v) {
-				s2, ok := b.bgpSess[topo.Edge{U: v, V: w}]
-				if !ok || s2.ibgp {
+			for _, ne2 := range t.nbrEdges[ne.v] {
+				si2 := b.shapeOf[ne2.out]
+				if si2 < 0 || b.shapes[si2].ibgp {
 					continue
 				}
+				s2 := b.shapes[si2]
 				s2.impEnv.LocalPrefValues(s2.impMap, cls.Prefix, vals)
 				if s2.impEnv.LocalPrefPassesThrough(s2.impMap, cls.Prefix) {
 					senderDefault = true
 				}
 			}
-			if senderDefault || originates(cls, b.G.Name(v)) {
+			if senderDefault || originates(cls, b.G.Name(ne.v)) {
 				passthrough = true
 			}
 		}

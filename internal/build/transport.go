@@ -631,15 +631,3 @@ func (b *Builder) transportAbs(cand *absEntry, sig *classSig, pi []topo.NodeID) 
 	})
 	return abs, live
 }
-
-// liveVec records, per edge index, whether the edge is live for the class —
-// computed once per freshly compressed entry so transports need no BDD work.
-func (b *Builder) liveVec(comp *policy.Compiler, cls ec.Class) []bool {
-	t := b.iso
-	keyFn := b.EdgeKeyFunc(comp, cls)
-	live := make([]bool, len(t.edges))
-	for i, e := range t.edges {
-		live[i] = !keyFn(e.U, e.V).Dead()
-	}
-	return live
-}

@@ -7,12 +7,24 @@
 // groups whose routers can assign k > 1 distinct BGP local-preference values
 // are then split into k copies (Theorem 4.4's bound), yielding a
 // BGP-effective abstraction.
+//
+// Scheduling is Paige–Tarjan-style: instead of re-sweeping every group to a
+// fixpoint, a worklist tracks exactly the groups whose members may have
+// changed signature — when a group sheds members, only the groups holding
+// live in/out-neighbors of the moved nodes are re-examined. The ∀∃ fixpoint
+// is the unique coarsest stable refinement of the starting partition
+// (signature equality is preserved under coarsening, so stability is
+// schedule-independent), which makes worklist scheduling produce the same
+// partition as the naive sweep; FindAbstractionSweep retains the sweep as
+// the reference implementation and the differential tests in this package
+// assert field-identical Abstractions across both. The partition core
+// (internal/usf) and the signature context refine without per-call maps or
+// slices, so a fresh compression allocates O(groups), not O(sweeps·nodes).
 package core
 
 import (
 	"fmt"
 	"slices"
-	"sort"
 
 	"bonsai/internal/bdd"
 	"bonsai/internal/topo"
@@ -64,6 +76,13 @@ type Options struct {
 	Mode Mode
 	// EdgeKey returns the canonical signature of directed edge (u, v).
 	EdgeKey func(u, v topo.NodeID) EdgeKey
+	// EdgeKeys, when non-nil, supplies every edge's canonical signature
+	// aligned with g.Edges() and takes precedence over EdgeKey: adjacency
+	// construction reads the vector instead of calling back per edge.
+	// Callers that can batch-derive keys (internal/build resolves each
+	// distinct session shape once per class) avoid per-edge policy lookups
+	// entirely.
+	EdgeKeys []EdgeKey
 	// Prefs returns |prefs(u)|: the number of distinct BGP local-preference
 	// values node u can assign for this destination (≥ 1). nil means 1.
 	Prefs func(u topo.NodeID) int
@@ -89,7 +108,16 @@ type Abstraction struct {
 	// transfer function.
 	RepEdge map[topo.Edge]topo.Edge
 
-	// Iterations counts refinement sweeps until fixpoint.
+	// Live records, per index of G.Edges(), whether the directed edge can
+	// carry the destination class (the negation of EdgeKey.Dead): the
+	// liveness vector refinement ran against. Consumers (internal/build's
+	// dedup cache) read it instead of re-deriving edge keys. It is aligned
+	// with the G this abstraction was computed over.
+	Live []bool
+
+	// Iterations counts group refinements until fixpoint (sweep passes for
+	// the reference scheduler, worklist pops for the production one); it is
+	// diagnostic only and, unlike every other field, scheduling-dependent.
 	Iterations int
 	// ColorSplits counts groups divided by the greedy self-loop-freedom
 	// coloring (phase 2b). First-fit coloring is the one phase of Algorithm 1
@@ -109,10 +137,26 @@ func (a *Abstraction) NumAbstractNodes() int { return a.AbsG.NumNodes() }
 // NumAbstractEdges returns the abstract undirected link count.
 func (a *Abstraction) NumAbstractEdges() int { return a.AbsG.NumLinks() }
 
-// FindAbstraction runs Algorithm 1 and returns the resulting abstraction.
+// FindAbstraction runs Algorithm 1 with worklist scheduling and returns the
+// resulting abstraction.
 func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction {
-	if opt.EdgeKey == nil {
-		panic("core: Options.EdgeKey is required")
+	return findAbstraction(g, dest, opt, false)
+}
+
+// FindAbstractionSweep runs Algorithm 1 with the naive sweep-to-fixpoint
+// scheduling: every refinement pass recomputes the signature of every
+// multi-member group. It is retained purely as the reference implementation
+// the worklist engine is differentially tested against — both produce
+// field-identical Abstractions (Iterations aside), because the refinement
+// fixpoint is unique and the order-sensitive phases scan groups in
+// canonical order under either scheduler.
+func FindAbstractionSweep(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction {
+	return findAbstraction(g, dest, opt, true)
+}
+
+func findAbstraction(g *topo.Graph, dest topo.NodeID, opt Options, sweep bool) *Abstraction {
+	if opt.EdgeKey == nil && opt.EdgeKeys == nil {
+		panic("core: Options.EdgeKey or Options.EdgeKeys is required")
 	}
 	prefs := opt.Prefs
 	if prefs == nil {
@@ -120,23 +164,15 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 	}
 
 	n := g.NumNodes()
+	adj, live := buildAdjacency(g, opt.EdgeKeys, opt.EdgeKey)
 	p := usf.New(n)
+	eng := &engine{p: p, adj: adj, sc: newSigCtx(adj, p), worklist: !sweep}
 	p.Split([]int{int(dest)})
-
-	// Edge keys are destination-specific but fixed across refinement
-	// sweeps: compute them (and their string tokens) once up front.
-	keyCache := make(map[topo.Edge]EdgeKey, g.NumEdges())
-	edgeKey := func(u, v topo.NodeID) EdgeKey {
-		e := topo.Edge{U: u, V: v}
-		if k, ok := keyCache[e]; ok {
-			return k
+	if eng.worklist {
+		for _, id := range p.Groups() {
+			eng.markDirty(id)
 		}
-		k := opt.EdgeKey(u, v)
-		keyCache[e] = k
-		return k
 	}
-	adj := buildAdjacency(g, edgeKey)
-	sc := newSigCtx(adj, p)
 
 	groupPrefs := func(members []int) int {
 		numPrefs := 1
@@ -151,35 +187,18 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 	iterations := 0
 	colorSplits := 0
 	for {
-		// Phase 1 (∀∃): refine every group against abstract neighbor
-		// groups and edge policies until nothing splits. Applying the
-		// stronger ∀∀ keys before this fixpoint would shatter symmetric
-		// nodes that are still mixed with dissimilar ones (Algorithm 1
-		// reaches the same state by re-running Refine to fixpoint).
-		for changed := true; changed; {
-			iterations++
-			changed = false
-			for _, id := range append([]int(nil), p.Groups()...) {
-				if len(p.Members(id)) <= 1 {
-					continue
-				}
-				if sc.refine(id, false) {
-					changed = true
-				}
-			}
-		}
+		// Phase 1 (∀∃): refine against abstract neighbor groups and edge
+		// policies until nothing splits. Applying the stronger ∀∀ keys
+		// before this fixpoint would shatter symmetric nodes that are still
+		// mixed with dissimilar ones (Algorithm 1 reaches the same state by
+		// re-running Refine to fixpoint).
+		iterations += eng.phase1()
 		before := p.NumGroups()
 		// Phase 2a (∀∀, Algorithm 1 line 19): groups that may use several
 		// local preferences must be uniformly adjacent to their neighbor
 		// groups (modulo self), since their split copies will interconnect.
 		if opt.Mode == ModeBGP {
-			for _, id := range append([]int(nil), p.Groups()...) {
-				members := p.Members(id)
-				if len(members) <= 1 || groupPrefs(members) <= 1 {
-					continue
-				}
-				sc.refine(id, true)
-			}
+			eng.phase2a(groupPrefs)
 		}
 		// Phase 2b (self-loop freedom): an abstract SRP may not contain
 		// self loops (§3.1), so a group joined by live internal edges is
@@ -187,18 +206,7 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 		// interconnected copies. Otherwise divide it so that no two
 		// adjacent concrete nodes share an abstract node; greedy coloring
 		// keeps the division small.
-		for _, id := range append([]int(nil), p.Groups()...) {
-			members := p.Members(id)
-			if len(members) <= 1 {
-				continue
-			}
-			if opt.Mode == ModeBGP && groupPrefs(members) > 1 {
-				continue // copies of a split group may interconnect
-			}
-			if colorSplit(p, members, adj) {
-				colorSplits++
-			}
-		}
+		colorSplits += eng.phase2b(opt.Mode, groupPrefs)
 		if p.NumGroups() == before {
 			break
 		}
@@ -208,10 +216,219 @@ func FindAbstraction(g *topo.Graph, dest topo.NodeID, opt Options) *Abstraction 
 	return Assemble(g, dest, idx, AssembleOptions{
 		Mode:        opt.Mode,
 		Prefs:       prefs,
-		Live:        func(u, v topo.NodeID) bool { return !edgeKey(u, v).Dead() },
+		LiveEdges:   live,
 		Iterations:  iterations,
 		ColorSplits: colorSplits,
 	})
+}
+
+// engine drives one findAbstraction run: the partition, its signature
+// context, and the worklist bookkeeping. With worklist set, a dirty flag per
+// group tracks "some member's signature may have changed"; only dirty
+// groups are refined, and splits propagate dirtiness to the groups holding
+// live neighbors of the moved members. With worklist unset, phase 1 is the
+// naive full sweep and the flags stay untouched.
+type engine struct {
+	p        *usf.Partition
+	adj      *adjacency
+	sc       *sigCtx
+	worklist bool
+
+	dirty   []bool // per group id: members' signatures may have changed
+	queue   []int  // dirty group ids awaiting refinement, FIFO
+	qhead   int
+	created []int   // scratch: groups created by the last split
+	canon   []int   // scratch: canonically ordered group ids for phase 2
+	colorOK []int32 // per group id: member count at the last no-split coloring
+	buckets [][]int // scratch: first-fit color classes
+	color   []int32 // per node: color index within the group being colored
+}
+
+// markDirty flags a group for (re-)refinement.
+func (e *engine) markDirty(id int) {
+	if id >= len(e.dirty) {
+		e.dirty = append(e.dirty, make([]bool, id+1-len(e.dirty))...)
+	}
+	if !e.dirty[id] {
+		e.dirty[id] = true
+		e.queue = append(e.queue, id)
+	}
+}
+
+// afterSplit updates the worklist after a split moved the members of the
+// created groups out of parent. A node's ∀∃ signature reads the group ids of
+// its live in/out-neighbors, so exactly the groups holding a neighbor of a
+// moved member may have become unstable (adj.nbrs is that neighbor set). A
+// pending dirty mark on the parent extends to the created groups: their
+// members inherit whatever staleness the parent had accumulated before the
+// split, and a flag left on the parent alone would no longer cover them.
+func (e *engine) afterSplit(parent int, created []int) {
+	if !e.worklist || len(created) == 0 {
+		return
+	}
+	for _, c := range created {
+		for _, m := range e.p.Members(c) {
+			for _, v := range e.adj.nbrs[m] {
+				e.markDirty(e.p.Find(int(v)))
+			}
+		}
+	}
+	if parent < len(e.dirty) && e.dirty[parent] {
+		for _, c := range created {
+			e.markDirty(c)
+		}
+	}
+}
+
+// phase1 refines to the ∀∃ fixpoint and returns the number of refinement
+// passes (sweep) or group refinements (worklist) performed.
+func (e *engine) phase1() int {
+	iter := 0
+	if !e.worklist {
+		for changed := true; changed; {
+			iter++
+			changed = false
+			// Groups() is append-only; capturing the slice header snapshots
+			// the groups existing at the start of the pass.
+			groups := e.p.Groups()
+			for _, id := range groups {
+				if len(e.p.Members(id)) <= 1 {
+					continue
+				}
+				if e.sc.refine(id, false) {
+					changed = true
+				}
+			}
+		}
+		return iter
+	}
+	for e.qhead < len(e.queue) {
+		id := e.queue[e.qhead]
+		e.qhead++
+		e.dirty[id] = false
+		if len(e.p.Members(id)) <= 1 {
+			continue
+		}
+		iter++
+		created, _ := e.sc.refineCollect(id, false, e.created[:0])
+		e.created = created
+		e.afterSplit(id, created)
+	}
+	e.queue = e.queue[:0]
+	e.qhead = 0
+	return iter
+}
+
+// canonGroups returns the live multi-member groups ordered by smallest
+// member. Phases 2a/2b scan in this canonical order because worklist and
+// sweep scheduling create groups in different orders, and a ∀∀ signature
+// can depend on splits applied to earlier groups of the same pass — with a
+// schedule-independent scan order (and signatures that are invariant under
+// group renumbering), both schedulers make identical split decisions.
+func (e *engine) canonGroups() []int {
+	ids := e.canon[:0]
+	for _, id := range e.p.Groups() {
+		if len(e.p.Members(id)) > 1 {
+			ids = append(ids, id)
+		}
+	}
+	slices.SortFunc(ids, func(a, b int) int {
+		return e.p.Members(a)[0] - e.p.Members(b)[0]
+	})
+	e.canon = ids
+	return ids
+}
+
+// phase2a applies the ∀∀ strengthening to every preference-diverse group.
+func (e *engine) phase2a(groupPrefs func([]int) int) {
+	for _, id := range e.canonGroups() {
+		members := e.p.Members(id)
+		if len(members) <= 1 || groupPrefs(members) <= 1 {
+			continue
+		}
+		created, _ := e.sc.refineCollect(id, true, e.created[:0])
+		e.created = created
+		e.afterSplit(id, created)
+	}
+}
+
+// phase2b enforces self-loop freedom and returns how many groups the
+// coloring divided.
+func (e *engine) phase2b(mode Mode, groupPrefs func([]int) int) int {
+	splits := 0
+	for _, id := range e.canonGroups() {
+		members := e.p.Members(id)
+		if len(members) <= 1 {
+			continue
+		}
+		if mode == ModeBGP && groupPrefs(members) > 1 {
+			continue // copies of a split group may interconnect
+		}
+		// Coloring is a function of the member set and the (static) live
+		// adjacency alone, and members only ever leave a group — equal size
+		// means an identical set, so a group that last colored clean at this
+		// size cannot split now.
+		if id < len(e.colorOK) && int(e.colorOK[id]) == len(members) {
+			continue
+		}
+		if e.colorSplit(id, members) {
+			splits++
+		} else {
+			if id >= len(e.colorOK) {
+				e.colorOK = append(e.colorOK, make([]int32, id+1-len(e.colorOK))...)
+			}
+			e.colorOK[id] = int32(len(members))
+		}
+	}
+	return splits
+}
+
+// colorSplit divides a group so that no two live-adjacent members remain
+// together: first-fit coloring in member order (deterministic), then one
+// multi-way split keyed by color class. It reports whether the group split.
+func (e *engine) colorSplit(id int, members []int) bool {
+	buckets := e.buckets[:0]
+	for _, u := range members {
+		placed := false
+		for ci := range buckets {
+			ok := true
+			for _, v := range buckets[ci] {
+				if e.adj.adjacent(u, v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				buckets[ci] = append(buckets[ci], u)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			if len(buckets) < cap(buckets) {
+				buckets = buckets[:len(buckets)+1]
+				buckets[len(buckets)-1] = append(buckets[len(buckets)-1][:0], u)
+			} else {
+				buckets = append(buckets, []int{u})
+			}
+		}
+	}
+	e.buckets = buckets
+	if len(buckets) <= 1 {
+		return false
+	}
+	if e.color == nil {
+		e.color = make([]int32, e.p.Len())
+	}
+	for ci, b := range buckets {
+		for _, u := range b {
+			e.color[u] = int32(ci)
+		}
+	}
+	created, _ := e.p.RefineCollect(id, func(x int) int64 { return int64(e.color[x]) }, e.created[:0])
+	e.created = created
+	e.afterSplit(id, created)
+	return true
 }
 
 // AssembleOptions configures Assemble: the inputs of the post-refinement
@@ -247,22 +464,55 @@ func Assemble(g *topo.Graph, dest topo.NodeID, groupOf []int, opt AssembleOption
 
 	// Canonicalise the partition: groups ordered by smallest member,
 	// members sorted. Node iteration is in increasing id, so a group's
-	// first-seen member is its smallest and group order follows it.
-	remap := make(map[int]int)
-	var groups [][]topo.NodeID
-	for u := 0; u < len(groupOf); u++ {
-		gi, ok := remap[groupOf[u]]
-		if !ok {
-			gi = len(groups)
-			remap[groupOf[u]] = gi
-			groups = append(groups, nil)
+	// first-seen member is its smallest and group order follows it. Every
+	// caller numbers groups densely (usf ids are bounded by 2·n, snapshot
+	// and transport indices by n), so the remapping is a slice, member
+	// counts are known before any group slice is built, and all members
+	// share one exact-size backing array.
+	n := len(groupOf)
+	maxID := 0
+	for _, gid := range groupOf {
+		if gid > maxID {
+			maxID = gid
 		}
-		groups[gi] = append(groups[gi], topo.NodeID(u))
 	}
-	idx := make([]int, len(groupOf))
-	for gi, ms := range groups {
-		for _, u := range ms {
-			idx[u] = gi
+	remap := make([]int32, maxID+1)
+	for i := range remap {
+		remap[i] = -1
+	}
+	idx := make([]int, n)
+	ng := 0
+	for u := 0; u < n; u++ {
+		gi := remap[groupOf[u]]
+		if gi < 0 {
+			gi = int32(ng)
+			remap[groupOf[u]] = gi
+			ng++
+		}
+		idx[u] = int(gi)
+	}
+	counts := make([]int32, ng)
+	for _, gi := range idx {
+		counts[gi]++
+	}
+	memberBuf := make([]topo.NodeID, n)
+	groups := make([][]topo.NodeID, ng)
+	off := 0
+	for gi := 0; gi < ng; gi++ {
+		c := int(counts[gi])
+		groups[gi] = memberBuf[off : off : off+c]
+		off += c
+	}
+	for u := 0; u < n; u++ {
+		groups[idx[u]] = append(groups[idx[u]], topo.NodeID(u))
+	}
+
+	edges := g.Edges()
+	live := opt.LiveEdges
+	if live == nil {
+		live = make([]bool, len(edges))
+		for i, e := range edges {
+			live[i] = opt.Live(e.U, e.V)
 		}
 	}
 
@@ -271,15 +521,16 @@ func Assemble(g *topo.Graph, dest topo.NodeID, groupOf []int, opt AssembleOption
 		Dest:        dest,
 		F:           idx,
 		Groups:      groups,
+		Live:        live,
 		Iterations:  opt.Iterations,
 		ColorSplits: opt.ColorSplits,
-		RepEdge:     make(map[topo.Edge]topo.Edge),
 	}
 
 	// BGP case splitting (paper §4.3, Theorem 4.4): each abstract node is
 	// duplicated once per possible local-preference value its members can
 	// use. The destination is never split.
-	splits := make([]int, len(abs.Groups))
+	splits := make([]int, ng)
+	numCopies := 0
 	for i, ms := range abs.Groups {
 		splits[i] = 1
 		if opt.Mode == ModeBGP && abs.F[dest] != i {
@@ -295,54 +546,72 @@ func Assemble(g *topo.Graph, dest topo.NodeID, groupOf []int, opt AssembleOption
 				splits[i] = len(ms)
 			}
 		}
+		numCopies += splits[i]
 	}
 
 	absG := topo.New()
-	abs.Copies = make([][]topo.NodeID, len(abs.Groups))
+	copyBuf := make([]topo.NodeID, 0, numCopies)
+	abs.Copies = make([][]topo.NodeID, ng)
 	for i, ms := range abs.Groups {
 		rep := g.Name(ms[0])
+		start := len(copyBuf)
 		for c := 0; c < splits[i]; c++ {
 			name := "~" + rep
 			if splits[i] > 1 {
 				name = fmt.Sprintf("~%s#%d", rep, c)
 			}
-			abs.Copies[i] = append(abs.Copies[i], absG.AddNode(name))
+			copyBuf = append(copyBuf, absG.AddNode(name))
 		}
+		abs.Copies[i] = copyBuf[start:len(copyBuf):len(copyBuf)]
 	}
 	abs.AbsDest = abs.Copies[abs.F[dest]][0]
 
 	// Abstract edges: one per pair of groups joined by a live concrete
 	// edge, expanded across split copies (copies of the same group connect
-	// to each other but never to themselves: SRPs are self-loop-free).
-	type groupEdge struct{ a, b int }
-	repFor := make(map[groupEdge]topo.Edge)
-	for i, e := range g.Edges() {
-		if opt.LiveEdges != nil {
-			if !opt.LiveEdges[i] {
-				continue
-			}
-		} else if !opt.Live(e.U, e.V) {
+	// to each other but never to themselves: SRPs are self-loop-free). The
+	// group-pair ids are dense, so representative selection is a sort over
+	// packed (pair, edge) words — ascending pair order, and within a pair
+	// the first live edge in g.Edges() order, exactly as the map-based
+	// grouping used to pick — instead of two maps per assembly.
+	type pairRep struct {
+		pair uint64
+		rep  topo.Edge
+	}
+	prs := make([]pairRep, 0, len(edges))
+	for i, e := range edges {
+		if !live[i] {
 			continue
 		}
-		ge := groupEdge{abs.F[e.U], abs.F[e.V]}
-		if _, ok := repFor[ge]; !ok {
-			repFor[ge] = e
-		}
+		prs = append(prs, pairRep{uint64(uint32(idx[e.U]))<<32 | uint64(uint32(idx[e.V])), e})
 	}
-	ges := make([]groupEdge, 0, len(repFor))
-	for ge := range repFor {
-		ges = append(ges, ge)
-	}
-	sort.Slice(ges, func(i, j int) bool {
-		if ges[i].a != ges[j].a {
-			return ges[i].a < ges[j].a
+	slices.SortStableFunc(prs, func(a, b pairRep) int {
+		switch {
+		case a.pair < b.pair:
+			return -1
+		case a.pair > b.pair:
+			return 1
 		}
-		return ges[i].b < ges[j].b
+		return 0
 	})
-	for _, ge := range ges {
-		rep := repFor[ge]
-		for _, ca := range abs.Copies[ge.a] {
-			for _, cb := range abs.Copies[ge.b] {
+	// Size RepEdge by distinct group pairs, not live edges: regular
+	// networks map tens of thousands of concrete edges onto a handful of
+	// abstract ones, and an over-sized map here dominates assembly cost.
+	pairs := 0
+	for s := 0; s < len(prs); s++ {
+		if s == 0 || prs[s].pair != prs[s-1].pair {
+			pairs++
+		}
+	}
+	abs.RepEdge = make(map[topo.Edge]topo.Edge, pairs)
+	for s := 0; s < len(prs); {
+		t := s + 1
+		for t < len(prs) && prs[t].pair == prs[s].pair {
+			t++
+		}
+		a, b := int(prs[s].pair>>32), int(uint32(prs[s].pair))
+		rep := prs[s].rep
+		for _, ca := range abs.Copies[a] {
+			for _, cb := range abs.Copies[b] {
 				if ca == cb {
 					continue
 				}
@@ -352,6 +621,7 @@ func Assemble(g *topo.Graph, dest topo.NodeID, groupOf []int, opt AssembleOption
 				}
 			}
 		}
+		s = t
 	}
 	abs.AbsG = absG
 	return abs
@@ -373,78 +643,81 @@ type adjacency struct {
 	nbrs [][]topo.NodeID // union of live out/in neighbors, sorted, deduped
 }
 
-func buildAdjacency(g *topo.Graph, edgeKey func(u, v topo.NodeID) EdgeKey) *adjacency {
+// buildAdjacency derives each edge's canonical key exactly once — from the
+// keys vector when supplied, else via the callback — interning distinct keys
+// to dense IDs (EdgeKey is comparable, so the refinement loop never renders
+// a key). It returns the adjacency plus the liveness vector aligned with
+// g.Edges(), which the final Assemble reuses. Per-node lists are carved from
+// three exact-size backing arrays sized by a counting pass, so adjacency
+// construction performs O(1) slice allocations.
+func buildAdjacency(g *topo.Graph, keys []EdgeKey, edgeKey func(u, v topo.NodeID) EdgeKey) (*adjacency, []bool) {
 	n := g.NumNodes()
+	edges := g.Edges()
 	a := &adjacency{
 		out:  make([][]liveEdge, n),
 		in:   make([][]liveEdge, n),
 		nbrs: make([][]topo.NodeID, n),
 	}
-	// EdgeKey is comparable, so distinct keys intern to dense IDs and the
-	// refinement loop never renders a key again.
+	live := make([]bool, len(edges))
+	toks := make([]int32, len(edges))
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
 	keyIDs := make(map[EdgeKey]int32, 16)
-	for _, u := range g.Nodes() {
-		for _, v := range g.Succ(u) {
-			k := edgeKey(u, v)
-			if k.Dead() {
-				continue
-			}
-			tok, ok := keyIDs[k]
-			if !ok {
-				tok = int32(len(keyIDs))
-				keyIDs[k] = tok
-			}
-			a.out[u] = append(a.out[u], liveEdge{v, tok})
-			a.in[v] = append(a.in[v], liveEdge{u, tok})
-			a.nbrs[u] = append(a.nbrs[u], v)
-			a.nbrs[v] = append(a.nbrs[v], u)
+	nLive := 0
+	for i, e := range edges {
+		var k EdgeKey
+		if keys != nil {
+			k = keys[i]
+		} else {
+			k = edgeKey(e.U, e.V)
 		}
+		if k.Dead() {
+			continue
+		}
+		live[i] = true
+		nLive++
+		tok, ok := keyIDs[k]
+		if !ok {
+			tok = int32(len(keyIDs))
+			keyIDs[k] = tok
+		}
+		toks[i] = tok
+		outDeg[e.U]++
+		inDeg[e.V]++
+	}
+	outBuf := make([]liveEdge, nLive)
+	inBuf := make([]liveEdge, nLive)
+	nbrBuf := make([]topo.NodeID, 2*nLive)
+	oo, io, no := 0, 0, 0
+	for u := 0; u < n; u++ {
+		od, id := int(outDeg[u]), int(inDeg[u])
+		a.out[u] = outBuf[oo : oo : oo+od]
+		a.in[u] = inBuf[io : io : io+id]
+		a.nbrs[u] = nbrBuf[no : no : no+od+id]
+		oo += od
+		io += id
+		no += od + id
+	}
+	for i, e := range edges {
+		if !live[i] {
+			continue
+		}
+		a.out[e.U] = append(a.out[e.U], liveEdge{e.V, toks[i]})
+		a.in[e.V] = append(a.in[e.V], liveEdge{e.U, toks[i]})
+		a.nbrs[e.U] = append(a.nbrs[e.U], e.V)
+		a.nbrs[e.V] = append(a.nbrs[e.V], e.U)
 	}
 	for i, ns := range a.nbrs {
 		slices.Sort(ns)
 		a.nbrs[i] = slices.Compact(ns)
 	}
-	return a
+	return a, live
 }
 
 // adjacent reports whether a live edge joins u and v in either direction.
 func (a *adjacency) adjacent(u, v int) bool {
 	_, found := slices.BinarySearch(a.nbrs[u], topo.NodeID(v))
 	return found
-}
-
-// colorSplit divides a group so that no two live-adjacent members remain
-// together, using first-fit coloring in member order (deterministic). It
-// reports whether the group was split.
-func colorSplit(p *usf.Partition, members []int, adj *adjacency) bool {
-	var colors [][]int
-	for _, u := range members {
-		placed := false
-		for ci := range colors {
-			ok := true
-			for _, v := range colors[ci] {
-				if adj.adjacent(u, v) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				colors[ci] = append(colors[ci], u)
-				placed = true
-				break
-			}
-		}
-		if !placed {
-			colors = append(colors, []int{u})
-		}
-	}
-	if len(colors) <= 1 {
-		return false
-	}
-	for _, c := range colors[1:] {
-		p.Split(c)
-	}
-	return true
 }
 
 // interner assigns dense int32 IDs to uint64 sequences. Its byte buffer is
@@ -476,17 +749,25 @@ func (in *interner) intern(words []uint64) int32 {
 // reset forgets all assignments but keeps the allocated capacity.
 func (in *interner) reset() { clear(in.ids) }
 
+// pgPair is one ∀∀ scratch entry: the packed (policy key, neighbor group)
+// token and the reached neighbor itself.
+type pgPair struct {
+	pg  uint64
+	nbr int32
+}
+
 // sigCtx computes refinement signatures as interned integers. Signature IDs
 // are only comparable within one Refine call (both interners are reset per
 // call), which keeps the tables bounded by the group size instead of growing
 // with the number of sweeps.
 type sigCtx struct {
-	adj  *adjacency
-	p    *usf.Partition
-	sigs *interner // sorted token sequences -> signature IDs
-	toks *interner // ∀∀ token payloads -> token IDs
-	ws   []uint64  // signature scratch
-	tw   []uint64  // token scratch
+	adj   *adjacency
+	p     *usf.Partition
+	sigs  *interner // sorted token sequences -> signature IDs
+	toks  *interner // ∀∀ token payloads -> token IDs
+	ws    []uint64  // signature scratch
+	tw    []uint64  // token scratch
+	pairs []pgPair  // ∀∀ scratch
 }
 
 func newSigCtx(adj *adjacency, p *usf.Partition) *sigCtx {
@@ -500,6 +781,16 @@ func (sc *sigCtx) refine(id int, forallForall bool) bool {
 	return sc.p.Refine(id, func(x int) int64 {
 		return int64(sc.signature(topo.NodeID(x), forallForall))
 	})
+}
+
+// refineCollect is refine, collecting the created group ids into the given
+// scratch slice for the worklist's split notifications.
+func (sc *sigCtx) refineCollect(id int, forallForall bool, created []int) ([]int, bool) {
+	sc.sigs.reset()
+	sc.toks.reset()
+	return sc.p.RefineCollect(id, func(x int) int64 {
+		return int64(sc.signature(topo.NodeID(x), forallForall))
+	}, created)
 }
 
 // packTok encodes one refinement token as a single word: direction (in/out)
@@ -531,30 +822,59 @@ func (sc *sigCtx) signature(u topo.NodeID, forallForall bool) int32 {
 	a, p := sc.adj, sc.p
 	ws := sc.ws[:0]
 	if forallForall {
-		// Group out-edges by (policy key, neighbor group).
-		reach := make(map[uint64][]int, len(a.out[u]))
+		// Group out-edges by (policy key, neighbor group): sort the packed
+		// tokens with their reached neighbors so each group is a contiguous
+		// run with the reached members ascending — no per-call maps.
+		pairs := sc.pairs[:0]
 		for _, le := range a.out[u] {
-			pg := packTok(false, le.tok, p.Find(int(le.nbr)))
-			reach[pg] = append(reach[pg], int(le.nbr))
+			pairs = append(pairs, pgPair{packTok(false, le.tok, p.Find(int(le.nbr))), int32(le.nbr)})
 		}
-		for pg, vs := range reach {
-			tw := append(sc.tw[:0], pg)
+		slices.SortFunc(pairs, func(x, y pgPair) int {
+			switch {
+			case x.pg < y.pg:
+				return -1
+			case x.pg > y.pg:
+				return 1
+			case x.nbr < y.nbr:
+				return -1
+			case x.nbr > y.nbr:
+				return 1
+			}
+			return 0
+		})
+		sc.pairs = pairs
+		for s := 0; s < len(pairs); {
+			t := s + 1
+			for t < len(pairs) && pairs[t].pg == pairs[s].pg {
+				t++
+			}
+			pg := pairs[s].pg
 			// Record which members of the neighbor group u does NOT reach,
 			// always excluding u itself: nodes whose reach differs only by
 			// self-exclusion (the split copies of §4.3 never self-connect)
 			// must share a key, while partial adjacency (fattree pods)
-			// still separates correctly.
-			missing := missedMembers(p, int(pg&0xffffffff), int(u), vs)
-			if len(missing) == 0 {
-				tw = append(tw, 1)
-			} else {
-				tw = append(tw, 0)
-				for _, v := range missing {
-					tw = append(tw, uint64(v))
+			// still separates correctly. Members and the reached run are
+			// both sorted, so the missing set is a linear merge.
+			tw := append(sc.tw[:0], pg, 0)
+			j := s
+			for _, m := range p.Members(int(uint32(pg))) {
+				if m == int(u) {
+					continue
 				}
+				for j < t && int(pairs[j].nbr) < m {
+					j++
+				}
+				if j < t && int(pairs[j].nbr) == m {
+					continue
+				}
+				tw = append(tw, uint64(m))
+			}
+			if len(tw) == 2 {
+				tw[1] = 1 // reaches the whole group
 			}
 			sc.tw = tw
 			ws = append(ws, packTok(false, sc.toks.intern(tw), 0))
+			s = t
 		}
 	} else {
 		for _, le := range a.out[u] {
@@ -568,20 +888,4 @@ func (sc *sigCtx) signature(u topo.NodeID, forallForall bool) int32 {
 	ws = slices.Compact(ws)
 	sc.ws = ws
 	return sc.sigs.intern(ws)
-}
-
-// missedMembers returns the members of group that u does not reach via vs,
-// excluding u itself, in sorted order.
-func missedMembers(p *usf.Partition, group, u int, vs []int) []int {
-	reached := make(map[int]bool, len(vs))
-	for _, v := range vs {
-		reached[v] = true
-	}
-	var missing []int
-	for _, m := range p.Members(group) {
-		if m != u && !reached[m] {
-			missing = append(missing, m)
-		}
-	}
-	return missing // Members() is sorted, so missing is too
 }

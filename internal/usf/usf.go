@@ -3,15 +3,29 @@
 // maintains a partition of {0..n-1} into disjoint groups (the abstract
 // nodes), supports splitting a group by an arbitrary key function, and maps
 // elements to group representatives in O(1).
+//
+// The structure is built for the refinement hot path: Refine performs a
+// single-pass multi-way split — all key classes are carved out of the group
+// in one rewrite of its member storage — and both Refine and Split reuse
+// per-Partition scratch instead of per-call maps, so splitting allocates
+// nothing beyond the group-table bookkeeping itself.
 package usf
 
-import "sort"
+import "slices"
+
+// kv is one (key, element) scratch pair used by Refine and Split.
+type kv struct {
+	k int64
+	x int
+}
 
 // Partition maintains disjoint groups over the elements 0..n-1.
 type Partition struct {
 	group  []int   // element -> group id
-	member [][]int // group id -> sorted members (nil after a group dies)
+	member [][]int // group id -> sorted members
 	live   []int   // ids of live groups, in creation order
+
+	kv []kv // scratch: (key, element) pairs, reused across calls
 }
 
 // New returns the coarsest partition: a single group holding 0..n-1.
@@ -36,11 +50,13 @@ func (p *Partition) NumGroups() int { return len(p.live) }
 func (p *Partition) Find(x int) int { return p.group[x] }
 
 // Members returns the sorted members of group id. Callers must not modify
-// the returned slice.
+// the returned slice: sibling groups carved from one split share its backing
+// array.
 func (p *Partition) Members(id int) []int { return p.member[id] }
 
-// Groups returns the ids of all live groups in creation order. Callers must
-// not modify the returned slice.
+// Groups returns the ids of all live groups in creation order. The slice is
+// append-only, so callers may capture it to snapshot the groups existing at
+// one moment; they must not modify it.
 func (p *Partition) Groups() []int { return p.live }
 
 // SameGroup reports whether x and y are currently in the same group.
@@ -50,36 +66,59 @@ func (p *Partition) SameGroup(x, y int) bool { return p.group[x] == p.group[y] }
 // currently belong to live groups. For each affected group g, the elements
 // of g listed in xs form one new group and the remainder of g stays in g
 // (unless the remainder is empty, in which case g keeps exactly xs and no
-// new group is created). It returns the ids of the newly created groups.
+// new group is created). New groups are created in ascending order of the
+// group being divided. It returns the ids of the newly created groups.
 func (p *Partition) Split(xs []int) []int {
-	byGroup := make(map[int][]int)
+	kvs := p.kv[:0]
 	for _, x := range xs {
-		byGroup[p.group[x]] = append(byGroup[p.group[x]], x)
+		kvs = append(kvs, kv{int64(p.group[x]), x})
 	}
+	p.kv = kvs
+	slices.SortFunc(kvs, cmpKV)
 	var created []int
-	for g, picked := range byGroup {
-		if len(picked) == len(p.member[g]) {
-			continue // splitting out everything is a no-op
+	for s := 0; s < len(kvs); {
+		e := s + 1
+		for e < len(kvs) && kvs[e].k == kvs[s].k {
+			e++
 		}
-		pickedSet := make(map[int]bool, len(picked))
-		for _, x := range picked {
-			pickedSet[x] = true
-		}
-		var rest []int
-		for _, x := range p.member[g] {
-			if !pickedSet[x] {
-				rest = append(rest, x)
+		g := int(kvs[s].k)
+		ms := p.member[g]
+		// Deduplicate repeated listings of one element (sorted, so adjacent).
+		np := 0
+		for i := s; i < e; i++ {
+			if i == s || kvs[i].x != kvs[i-1].x {
+				kvs[s+np] = kvs[i]
+				np++
 			}
 		}
-		sort.Ints(picked)
-		p.member[g] = rest
-		newID := len(p.member)
-		p.member = append(p.member, picked)
-		p.live = append(p.live, newID)
-		for _, x := range picked {
-			p.group[x] = newID
+		if np < len(ms) {
+			// Single pass over the group: keep unlisted members in the front
+			// of the existing backing, move the picked ones to the back. Both
+			// sequences are ascending, so the rewrite preserves sortedness.
+			w := 0
+			j := s
+			for _, x := range ms {
+				if j < s+np && kvs[j].x == x {
+					j++
+					continue
+				}
+				ms[w] = x
+				w++
+			}
+			for i := 0; i < np; i++ {
+				ms[w+i] = kvs[s+i].x
+			}
+			newID := len(p.member)
+			picked := ms[w : w+np : w+np]
+			p.member[g] = ms[:w:w]
+			p.member = append(p.member, picked)
+			p.live = append(p.live, newID)
+			for _, x := range picked {
+				p.group[x] = newID
+			}
+			created = append(created, newID)
 		}
-		created = append(created, newID)
+		s = e
 	}
 	return created
 }
@@ -89,40 +128,103 @@ func (p *Partition) Split(xs []int) []int {
 // typically interned signature IDs, so callers compare semantic signatures
 // without materialising them as strings.
 func (p *Partition) Refine(id int, key func(x int) int64) bool {
+	_, split := p.refineInto(id, key, nil, false)
+	return split
+}
+
+// RefineCollect is Refine, additionally appending the ids of the groups the
+// split created to created (typically a reused scratch slice) and returning
+// the extended slice. The worklist engine uses it to learn which members
+// moved without re-deriving the partition delta.
+func (p *Partition) RefineCollect(id int, key func(x int) int64, created []int) ([]int, bool) {
+	return p.refineInto(id, key, created, true)
+}
+
+// refineInto performs the single-pass multi-way split: keys are computed
+// once per member, members are ordered by (key, member) in scratch, and
+// every key class is written back into the group's original backing array —
+// the first class (smallest key) keeps the group id, later classes become
+// new groups in ascending key order.
+func (p *Partition) refineInto(id int, key func(x int) int64, created []int, collect bool) ([]int, bool) {
 	members := p.member[id]
 	if len(members) <= 1 {
-		return false
+		return created, false
 	}
-	byKey := make(map[int64][]int)
-	order := []int64{}
-	for _, x := range members {
+	kvs := p.kv[:0]
+	uniform := true
+	k0 := key(members[0])
+	kvs = append(kvs, kv{k0, members[0]})
+	for _, x := range members[1:] {
 		k := key(x)
-		if _, ok := byKey[k]; !ok {
-			order = append(order, k)
+		if k != k0 {
+			uniform = false
 		}
-		byKey[k] = append(byKey[k], x)
+		kvs = append(kvs, kv{k, x})
 	}
-	if len(byKey) == 1 {
-		return false
+	p.kv = kvs
+	if uniform {
+		return created, false
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] }) // deterministic split order
-	// Keep the first key class in place; split the rest out.
-	for _, k := range order[1:] {
-		p.Split(byKey[k])
+	// Stable on members because they are already ascending and the
+	// comparison breaks ties on x, so each class stays sorted.
+	slices.SortFunc(kvs, cmpKV)
+	for i := range kvs {
+		members[i] = kvs[i].x
 	}
-	return true
+	first := true
+	for s := 0; s < len(kvs); {
+		e := s + 1
+		for e < len(kvs) && kvs[e].k == kvs[s].k {
+			e++
+		}
+		run := members[s:e:e]
+		if first {
+			p.member[id] = run
+			first = false
+		} else {
+			newID := len(p.member)
+			p.member = append(p.member, run)
+			p.live = append(p.live, newID)
+			for _, x := range run {
+				p.group[x] = newID
+			}
+			if collect {
+				created = append(created, newID)
+			}
+		}
+		s = e
+	}
+	return created, true
+}
+
+// cmpKV orders scratch pairs by key, then element.
+func cmpKV(a, b kv) int {
+	switch {
+	case a.k < b.k:
+		return -1
+	case a.k > b.k:
+		return 1
+	case a.x < b.x:
+		return -1
+	case a.x > b.x:
+		return 1
+	}
+	return 0
 }
 
 // Snapshot returns the current groups as a slice of sorted member slices,
 // ordered by smallest member, along with a map element -> snapshot index.
+// The member slices share one freshly allocated backing array.
 func (p *Partition) Snapshot() ([][]int, []int) {
 	groups := make([][]int, 0, len(p.live))
+	buf := make([]int, len(p.group))
+	w := 0
 	for _, id := range p.live {
-		ms := make([]int, len(p.member[id]))
-		copy(ms, p.member[id])
-		groups = append(groups, ms)
+		n := copy(buf[w:], p.member[id])
+		groups = append(groups, buf[w:w+n:w+n])
+		w += n
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+	slices.SortFunc(groups, func(a, b []int) int { return a[0] - b[0] })
 	idx := make([]int, len(p.group))
 	for i, g := range groups {
 		for _, x := range g {

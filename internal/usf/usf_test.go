@@ -97,6 +97,66 @@ func TestSnapshotOrdering(t *testing.T) {
 	}
 }
 
+func TestRefineCollect(t *testing.T) {
+	p := New(9)
+	created, split := p.RefineCollect(p.Find(0), func(x int) int64 { return int64(x % 3) }, nil)
+	if !split {
+		t.Fatal("RefineCollect reported no split")
+	}
+	// Key class 0 keeps the group; classes 1 and 2 are created in key order.
+	if len(created) != 2 {
+		t.Fatalf("created = %v, want 2 groups", created)
+	}
+	for ci, id := range created {
+		for _, x := range p.Members(id) {
+			if x%3 != ci+1 {
+				t.Fatalf("created group %d holds %d", ci, x)
+			}
+		}
+	}
+	// A uniform refine creates nothing and must not touch the scratch result.
+	scratch := created[:0]
+	scratch, split = p.RefineCollect(p.Find(0), func(int) int64 { return 1 }, scratch)
+	if split || len(scratch) != 0 {
+		t.Fatal("uniform RefineCollect must report no split and create nothing")
+	}
+}
+
+// TestRepeatedSplitIsolation carves one large group down with many
+// successive splits and verifies no sibling group's members are corrupted —
+// the groups share one backing array, so any out-of-range write would show.
+func TestRepeatedSplitIsolation(t *testing.T) {
+	const n = 128
+	p := New(n)
+	for k := 0; k < 6; k++ {
+		// Split every current group by a different modulus each round.
+		for _, id := range append([]int(nil), p.Groups()...) {
+			p.Refine(id, func(x int) int64 { return int64(x % (k + 2)) })
+		}
+		seen := make([]bool, n)
+		for _, g := range p.Groups() {
+			ms := p.Members(g)
+			for i, x := range ms {
+				if seen[x] {
+					t.Fatalf("element %d appears in two groups after round %d", x, k)
+				}
+				seen[x] = true
+				if i > 0 && ms[i-1] >= x {
+					t.Fatalf("group %d not sorted after round %d: %v", g, k, ms)
+				}
+				if p.Find(x) != g {
+					t.Fatalf("Find(%d) = %d, want %d", x, p.Find(x), g)
+				}
+			}
+		}
+		for x, ok := range seen {
+			if !ok {
+				t.Fatalf("element %d lost after round %d", x, k)
+			}
+		}
+	}
+}
+
 func TestInvariantsRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	p := New(40)
