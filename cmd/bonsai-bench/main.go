@@ -33,12 +33,16 @@ import (
 
 // caseResult is one benchmark case in the JSON output.
 type caseResult struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// PeakHeapBytes is the largest HeapAlloc sampled while the case ran
+	// (benchrun.PeakHeap) — the whole-process peak, including the network,
+	// the builder and the BDD tables, not just the abstraction store.
+	PeakHeapBytes uint64             `json:"peak_heap_bytes"`
+	Metrics       map[string]float64 `json:"metrics,omitempty"`
 }
 
 // report is the top-level JSON document.
@@ -104,13 +108,17 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "running %-50s ", c.Name)
 		start := time.Now()
+		runtime.GC() // level the heap so the peak is the case's own
+		sampler := benchrun.StartPeakHeap(0)
 		r := testing.Benchmark(c.F)
+		peak := sampler.Stop()
 		cr := caseResult{
-			Name:        c.Name,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			AllocsPerOp: r.AllocsPerOp(),
+			Name:          c.Name,
+			Iterations:    r.N,
+			NsPerOp:       float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			PeakHeapBytes: peak,
 		}
 		if len(r.Extra) > 0 {
 			cr.Metrics = make(map[string]float64, len(r.Extra))
@@ -160,6 +168,12 @@ func run() int {
 // baseline box, so the diff is a smoke alarm, not a gate.
 const regressionFactor = 3.0
 
+// memRegressionFactor is the allocs/op and peak-HeapAlloc ratio above which
+// -compare warns. Memory is less machine-sensitive than time, so the bar is
+// tighter; it stays warn-only for the same reason (GC timing and sampling
+// jitter move peaks run to run).
+const memRegressionFactor = 2.0
+
 // warnRegressions diffs equally named cases of the finished run against a
 // baseline report, comparing ns/class where both sides report it and falling
 // back to ns/op. It only ever warns.
@@ -202,6 +216,20 @@ func warnRegressions(path string, rep report) {
 			warned++
 			fmt.Fprintf(os.Stderr, "WARNING: %s: %s %.0f vs baseline %.0f (%.1fx > %.1fx)\n",
 				c.Name, unit, got, want, got/want, regressionFactor)
+		}
+		// Memory regressions, warn-only like the time diff: allocations per
+		// op and the sampled peak heap.
+		if bc.AllocsPerOp > 0 && c.AllocsPerOp > int64(memRegressionFactor*float64(bc.AllocsPerOp)) {
+			warned++
+			fmt.Fprintf(os.Stderr, "WARNING: %s: allocs/op %d vs baseline %d (%.1fx > %.1fx)\n",
+				c.Name, c.AllocsPerOp, bc.AllocsPerOp,
+				float64(c.AllocsPerOp)/float64(bc.AllocsPerOp), memRegressionFactor)
+		}
+		if bc.PeakHeapBytes > 0 && float64(c.PeakHeapBytes) > memRegressionFactor*float64(bc.PeakHeapBytes) {
+			warned++
+			fmt.Fprintf(os.Stderr, "WARNING: %s: peak heap %d vs baseline %d (%.1fx > %.1fx)\n",
+				c.Name, c.PeakHeapBytes, bc.PeakHeapBytes,
+				float64(c.PeakHeapBytes)/float64(bc.PeakHeapBytes), memRegressionFactor)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "compared %d cases against %s: %d regression warning(s)\n",

@@ -53,8 +53,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles> [flags]
-  gen       -topo fattree|ring|mesh|dc|wan [-k N] [-n N] [-policy shortest|prefer-bottom]
-  compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N] [-json]
+  gen       -topo fattree|ring|mesh|dc|wan|spineleaf [-k N] [-n N] [-policy shortest|prefer-bottom]
+            [-spines N] [-leaves N] [-ext N]
+  compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N] [-rows] [-budget-mb N] [-json]
   simulate  -f FILE -dest PREFIX [-json]
   verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair] [-json]
   roles     -f FILE [-no-erase] [-no-statics] [-json]`)
@@ -76,11 +77,11 @@ func addEngineFlags(fs *flag.FlagSet) engineFlags {
 }
 
 // open parses the shared flags' network file into an Engine.
-func (ef engineFlags) open() (*bonsai.Engine, error) {
+func (ef engineFlags) open(opts ...bonsai.Option) (*bonsai.Engine, error) {
 	if *ef.file == "" {
 		return nil, fmt.Errorf("-f required")
 	}
-	return bonsai.OpenFile(*ef.file)
+	return bonsai.OpenFile(*ef.file, opts...)
 }
 
 // emit prints v as indented JSON when -json was given and returns true.
@@ -95,10 +96,13 @@ func (ef engineFlags) emit(v any) (bool, error) {
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	topoName := fs.String("topo", "fattree", "fattree|ring|mesh|dc|wan")
+	topoName := fs.String("topo", "fattree", "fattree|ring|mesh|dc|wan|spineleaf")
 	k := fs.Int("k", 8, "fat-tree arity")
 	n := fs.Int("n", 50, "ring/mesh size")
 	pol := fs.String("policy", "shortest", "fattree policy: shortest|prefer-bottom")
+	spines := fs.Int("spines", 0, "spine-leaf: spine count (0 = default)")
+	leaves := fs.Int("leaves", 0, "spine-leaf: leaf count (0 = default)")
+	ext := fs.Int("ext", 0, "spine-leaf: external peers per leaf (0 = default)")
 	fs.Parse(args)
 
 	var net *bonsai.Network
@@ -117,6 +121,8 @@ func cmdGen(args []string) error {
 		net = netgen.Datacenter(netgen.DCOptions{})
 	case "wan":
 		net = netgen.WAN(netgen.WANOptions{})
+	case "spineleaf":
+		net = netgen.SpineLeaf(netgen.SpineLeafOptions{Spines: *spines, Leaves: *leaves, ExtPerLeaf: *ext})
 	default:
 		return fmt.Errorf("unknown topology %q", *topoName)
 	}
@@ -129,11 +135,18 @@ func cmdCompress(args []string) error {
 	dest := fs.String("dest", "", "compress only this destination prefix")
 	writeAbstract := fs.Bool("write-abstract", false, "print the compressed configuration (requires -dest)")
 	maxClasses := fs.Int("max", 0, "max destination classes (0 = all)")
+	rows := fs.Bool("rows", true, "stream one row per class as it completes (text output)")
+	budgetMB := fs.Int64("budget-mb", 0, "abstraction store memory budget in MiB (0 = unbounded)")
 	fs.Parse(args)
-	eng, err := ef.open()
+	var opts []bonsai.Option
+	if *budgetMB > 0 {
+		opts = append(opts, bonsai.WithMemoryBudget(*budgetMB<<20))
+	}
+	eng, err := ef.open(opts...)
 	if err != nil {
 		return err
 	}
+	defer eng.Close()
 	ctx := context.Background()
 
 	if *writeAbstract {
@@ -147,10 +160,26 @@ func cmdCompress(args []string) error {
 		return bonsai.Print(os.Stdout, absCfg)
 	}
 
-	rep, err := eng.Compress(ctx, bonsai.ClassSelector{Prefix: *dest, MaxClasses: *maxClasses})
+	// The report streams: rows print as classes complete, so a large
+	// network shows progress immediately and the process never buffers the
+	// per-class results (-json emits only the aggregate report, which is
+	// O(1) regardless of class count).
+	s, err := eng.CompressStream(ctx, bonsai.ClassSelector{Prefix: *dest, MaxClasses: *maxClasses})
 	if err != nil {
 		return err
 	}
+	printRows := *rows && !*ef.jsonOut
+	for r := range s.Results() {
+		if printRows {
+			fmt.Printf("%-18s %3d nodes %3d links  %-11s %v\n",
+				r.Prefix, r.AbstractNodes, r.AbstractLinks, r.Source,
+				r.Duration.Round(time.Microsecond))
+		}
+	}
+	if err := s.Err(); err != nil {
+		return err
+	}
+	rep := s.Report()
 	if done, err := ef.emit(rep); done {
 		return err
 	}
@@ -161,6 +190,11 @@ func cmdCompress(args []string) error {
 		rep.AvgAbstractNodes(), rep.AvgAbstractLinks(), rep.NodeRatio, rep.LinkRatio)
 	fmt.Printf("dedup: %d compressed fresh, %d transported by symmetry, %d served from cache (of %d classes)\n",
 		rep.Cache.Fresh, rep.Cache.Transported, rep.Cache.Served, rep.ClassesCompressed)
+	if rep.Cache.BudgetBytes > 0 {
+		fmt.Printf("store: %.1f MiB live (peak %.1f MiB, budget %.1f MiB), %d evictions\n",
+			float64(rep.Cache.LiveBytes)/(1<<20), float64(rep.Cache.PeakBytes)/(1<<20),
+			float64(rep.Cache.BudgetBytes)/(1<<20), rep.Cache.Evictions)
+	}
 	fmt.Printf("time: bdd setup %v, compression %v total (%v per class)\n",
 		rep.BDDSetup.Round(time.Millisecond), rep.Duration.Round(time.Millisecond),
 		(rep.Duration / time.Duration(max(rep.ClassesCompressed, 1))).Round(time.Microsecond))

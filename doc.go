@@ -36,6 +36,26 @@
 // recompressed by the next query. Queries issued concurrently with Apply
 // keep running against the pre-delta state and never block.
 //
+// # Streaming compression
+//
+// Compress is the batch face of a streaming pipeline. CompressStream
+// yields per-class results as they complete, with classes enumerated
+// lazily off the prefix trie and scheduled onto sharded work-stealing
+// workers grouped by deduplication fingerprint (one refinement per group;
+// followers ride the cache):
+//
+//	s, err := eng.CompressStream(ctx, bonsai.ClassSelector{})
+//	for r := range s.Results() {
+//	    fmt.Println(r.Prefix, r.AbstractNodes, r.Source)
+//	}
+//	err = s.Err()
+//
+// WithMemoryBudget bounds the engine's abstraction store: past the budget,
+// least-recently-used cached abstractions are evicted and recompress on
+// their next query, so memory is a policy rather than a function of how
+// many classes the network has. Close releases the pooled BDD compilers'
+// tables; a closed engine returns ErrClosed.
+//
 // All Engine methods take a context.Context; cancellation propagates into
 // the compression and verification worker pools and stops them promptly.
 package bonsai

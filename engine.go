@@ -2,6 +2,7 @@ package bonsai
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -9,12 +10,13 @@ import (
 
 	"bonsai/internal/build"
 	"bonsai/internal/config"
-	"bonsai/internal/core"
-	"bonsai/internal/ec"
 	"bonsai/internal/policy"
 	"bonsai/internal/srp"
 	"bonsai/internal/verify"
 )
+
+// ErrClosed is returned by engine operations after Close.
+var ErrClosed = errors.New("bonsai: engine is closed")
 
 // Engine is a long-lived compression and verification session over one
 // network. It is safe for concurrent use: queries fan out over a worker
@@ -34,6 +36,8 @@ type Engine struct {
 	// universe no longer matches the current network are dropped on
 	// acquire.
 	pool chan *pooledCompiler
+	// closed is set by Close; operations observe it and return ErrClosed.
+	closed atomic.Bool
 }
 
 // engineState is one immutable network snapshot.
@@ -64,10 +68,32 @@ func Open(net *Network, opts ...Option) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o.memBudget > 0 {
+		b.SetAbstractionBudget(o.memBudget)
+	}
 	e := &Engine{opts: o}
-	e.pool = make(chan *pooledCompiler, o.workerCount()+2)
+	poolCap := o.workerCount() + 2
+	if s := o.shardCount(); s > o.workerCount() {
+		poolCap = s + 2
+	}
+	e.pool = make(chan *pooledCompiler, poolCap)
 	e.state.Store(&engineState{cfg: cfg, b: b, universe: universeKey(cfg)})
 	return e, nil
+}
+
+// Close shuts the engine down: the idle compiler pool is drained and every
+// pooled compiler's BDD unique table and operation caches are freed, so a
+// process cycling through many engines reclaims per-engine memory
+// deterministically instead of waiting for the GC to notice multi-megabyte
+// managers. Operations started after Close return ErrClosed; operations
+// already in flight finish normally (their checked-out compilers are freed
+// when released). Close is idempotent and safe to call concurrently.
+func (e *Engine) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	e.drainPool()
+	return nil
 }
 
 // OpenFile parses the network file at path and opens an Engine over it.
@@ -110,7 +136,18 @@ func (e *Engine) Classes() []string {
 
 func cacheStats(b *build.Builder) CacheStats {
 	s := b.AbstractionCacheStats()
-	return CacheStats{Fresh: s.Fresh, Transported: s.Transported, Served: s.Served, Adopted: s.Adopted}
+	return CacheStats{
+		Fresh:          s.Fresh,
+		Transported:    s.Transported,
+		Served:         s.Served,
+		Adopted:        s.Adopted,
+		Misses:         s.Misses,
+		Evictions:      s.Evictions,
+		LiveBytes:      s.LiveBytes,
+		PeakBytes:      s.PeakBytes,
+		BudgetBytes:    s.BudgetBytes,
+		DuplicateFresh: s.DuplicateFresh,
+	}
 }
 
 // acquire checks a compiler out of the pool for st, discarding pooled
@@ -137,101 +174,55 @@ func (e *Engine) acquire(st *engineState) *pooledCompiler {
 	}
 }
 
-// release returns a compiler to the pool, dropping it when full.
+// release returns a compiler to the pool, dropping it when full and
+// freeing its BDD tables when the engine has been closed (the query that
+// held it across Close finishes normally; the compiler does not outlive
+// it).
 func (e *Engine) release(pc *pooledCompiler) {
+	if e.closed.Load() {
+		pc.comp.Close()
+		return
+	}
 	select {
 	case e.pool <- pc:
+		if e.closed.Load() {
+			// Close ran between the check above and the send, so its drain
+			// may have missed this compiler; sweep the pool so shutdown
+			// stays deterministic.
+			e.drainPool()
+		}
 	default:
 	}
 }
 
-// classesFor resolves a selector against the current class list.
-func (e *Engine) classesFor(st *engineState, sel ClassSelector) ([]ec.Class, error) {
-	if sel.Prefix != "" {
-		cls, err := st.b.ClassFor(sel.Prefix)
-		if err != nil {
-			return nil, err
+// drainPool empties the idle pool, freeing each compiler's BDD tables.
+func (e *Engine) drainPool() {
+	for {
+		select {
+		case pc := <-e.pool:
+			pc.comp.Close()
+		default:
+			return
 		}
-		return []ec.Class{cls}, nil
 	}
-	classes := st.b.Classes()
-	max := sel.MaxClasses
-	if max == 0 {
-		max = e.opts.maxClasses
-	}
-	if max > 0 && len(classes) > max {
-		classes = classes[:max]
-	}
-	return classes, nil
 }
 
 // Compress compresses the selected destination classes, sharing cached
 // abstractions across identical and symmetric classes (unless the engine
-// was opened with WithDedup(false)).
+// was opened with WithDedup(false)). It is the batch form of
+// CompressStream: the same streaming pipeline runs underneath, with the
+// per-class results drained into the aggregate report.
 func (e *Engine) Compress(ctx context.Context, sel ClassSelector) (*CompressReport, error) {
-	st := e.state.Load()
-	classes, err := e.classesFor(st, sel)
+	s, err := e.CompressStream(ctx, sel)
 	if err != nil {
 		return nil, err
 	}
-	workers := e.opts.workerCount()
-	if workers > len(classes) {
-		workers = len(classes)
+	for range s.Results() {
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	bddStart := time.Now()
-	comps := make([]*pooledCompiler, workers)
-	for i := range comps {
-		comps[i] = e.acquire(st)
-	}
-	defer func() {
-		for _, pc := range comps {
-			e.release(pc)
-		}
-	}()
-	bddSetup := time.Since(bddStart)
-
-	var mu sync.Mutex
-	var sumNodes, sumLinks int
-	start := time.Now()
-	err = verify.ForEachClass(ctx, classes, workers, func(w int, cls ec.Class) error {
-		var abs *core.Abstraction
-		var err error
-		if e.opts.dedup {
-			abs, err = st.b.Compress(ctx, comps[w].comp, cls)
-		} else {
-			abs, err = st.b.CompressFresh(ctx, comps[w].comp, cls)
-		}
-		if err != nil {
-			return err
-		}
-		mu.Lock()
-		sumNodes += abs.NumAbstractNodes()
-		sumLinks += abs.NumAbstractEdges()
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
+	if err := s.Err(); err != nil {
 		return nil, err
 	}
-	rep := &CompressReport{
-		Network:           e.networkInfo(st),
-		ClassesCompressed: len(classes),
-		SumAbstractNodes:  sumNodes,
-		SumAbstractLinks:  sumLinks,
-		Cache:             cacheStats(st.b),
-		BDDSetup:          bddSetup,
-		Duration:          time.Since(start),
-	}
-	if sumNodes > 0 {
-		rep.NodeRatio = float64(st.b.G.NumNodes()*len(classes)) / float64(sumNodes)
-	}
-	if sumLinks > 0 {
-		rep.LinkRatio = float64(st.b.G.NumLinks()*len(classes)) / float64(sumLinks)
-	}
-	return rep, nil
+	return s.Report(), nil
 }
 
 func (e *Engine) networkInfo(st *engineState) NetworkInfo {
@@ -240,13 +231,16 @@ func (e *Engine) networkInfo(st *engineState) NetworkInfo {
 		Routers:    st.b.G.NumNodes(),
 		Links:      st.b.G.NumLinks(),
 		Interfaces: st.cfg.NumInterfaces(),
-		Classes:    len(st.b.Classes()),
+		Classes:    st.b.NumClasses(),
 	}
 }
 
 // AbstractNetwork compresses the class owning destPrefix and writes the
 // abstraction back out as a (smaller) configuration.
 func (e *Engine) AbstractNetwork(ctx context.Context, destPrefix string) (*Network, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	st := e.state.Load()
 	cls, err := st.b.ClassFor(destPrefix)
 	if err != nil {
@@ -264,6 +258,9 @@ func (e *Engine) AbstractNetwork(ctx context.Context, destPrefix string) (*Netwo
 // Verify runs an all-pairs reachability verification and returns its
 // structured report.
 func (e *Engine) Verify(ctx context.Context, req VerifyRequest) (*Report, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	st := e.state.Load()
 	workers := req.Workers
 	if workers <= 0 {
@@ -325,6 +322,9 @@ func (e *Engine) ReachConcrete(ctx context.Context, src, destPrefix string) (*Re
 }
 
 func (e *Engine) reach(ctx context.Context, src, destPrefix string, compressed bool) (*ReachResult, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	st := e.state.Load()
 	var comp *policy.Compiler
 	if compressed {
@@ -341,6 +341,9 @@ func (e *Engine) reach(ctx context.Context, src, destPrefix string, compressed b
 
 // Roles counts the behavioral router roles of the network (paper §8).
 func (e *Engine) Roles(ctx context.Context, req RolesRequest) (*RolesReport, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -354,6 +357,9 @@ func (e *Engine) Roles(ctx context.Context, req RolesRequest) (*RolesReport, err
 // Routes simulates the concrete control plane for the class owning
 // destPrefix and returns every router's converged state.
 func (e *Engine) Routes(ctx context.Context, destPrefix string) (*RoutesReport, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -397,6 +403,9 @@ func (e *Engine) Apply(ctx context.Context, d Delta) (*ApplyReport, error) {
 	if d.empty() {
 		return nil, fmt.Errorf("bonsai: empty delta")
 	}
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
 	start := time.Now()
@@ -408,6 +417,9 @@ func (e *Engine) Apply(ctx context.Context, d Delta) (*ApplyReport, error) {
 	b2, err := build.New(cfg2)
 	if err != nil {
 		return nil, fmt.Errorf("bonsai: delta produces invalid network: %w", err)
+	}
+	if e.opts.memBudget > 0 {
+		b2.SetAbstractionBudget(e.opts.memBudget)
 	}
 	// Keep the compiled-policy pool warm: relation caches transfer because
 	// unchanged routers share their policy namespaces with the old config.

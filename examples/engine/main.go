@@ -25,14 +25,34 @@ func main() {
 	// one with bonsai.ParseFile, or build one programmatically.
 	net := netgen.Fattree(4, netgen.PolicyShortestPath)
 
-	eng, err := bonsai.Open(net, bonsai.WithWorkers(2))
+	eng, err := bonsai.Open(net,
+		bonsai.WithWorkers(2),
+		// Bound the abstraction store: past the budget, cold cached
+		// abstractions are evicted (and recompress on their next query).
+		bonsai.WithMemoryBudget(64<<20),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer eng.Close() // frees the pooled BDD tables
 
-	// Compress every destination class. The engine deduplicates
-	// abstractions across classes, so symmetric classes share one
-	// refinement run.
+	// Stream the first compression: classes are enumerated lazily and the
+	// per-class results arrive as the sharded scheduler completes them —
+	// the batch Compress below is this same pipeline plus a drain.
+	s, err := eng.CompressStream(ctx, bonsai.ClassSelector{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := range s.Results() {
+		fmt.Printf("  %-14s %d abstract nodes (%s)\n", r.Prefix, r.AbstractNodes, r.Source)
+	}
+	if err := s.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// The batch form aggregates the same stream into one report. The
+	// engine deduplicates abstractions across classes, so symmetric
+	// classes share one refinement run.
 	rep, err := eng.Compress(ctx, bonsai.ClassSelector{})
 	if err != nil {
 		log.Fatal(err)

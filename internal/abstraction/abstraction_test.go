@@ -49,6 +49,9 @@ func TestGeneratedNetworksSatisfyConditions(t *testing.T) {
 			PrefixesPerLeaf: 2, VirtualIfaces: 2, StaticPatterns: 3, TagGroups: 3,
 		}),
 		"wan": netgen.WAN(netgen.WANOptions{Backbone: 4, Sites: 3, SwitchesPerSite: 2}),
+		"spineleaf": netgen.SpineLeaf(netgen.SpineLeafOptions{
+			Spines: 2, Leaves: 3, ExtPerLeaf: 2, PrefixesPerExt: 2,
+		}),
 	}
 	for name, net := range nets {
 		b, err := build.New(net)

@@ -590,3 +590,14 @@ func (m *Manager) NodeCount(n Node) int {
 	walk(n)
 	return len(seen)
 }
+
+// Close releases the manager's unique table and operation caches so a
+// long-lived process can reclaim per-manager memory deterministically
+// (node tables only grow; the GC cannot shrink a live manager). The
+// manager must not be used afterwards: any operation will panic on the
+// nil tables, which turns use-after-close into a loud bug instead of a
+// silent corruption. Close is idempotent.
+func (m *Manager) Close() {
+	m.nodes, m.buckets = nil, nil
+	m.ite, m.apply2, m.unary, m.sat = nil, nil, nil, nil
+}

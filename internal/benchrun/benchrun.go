@@ -11,6 +11,8 @@ package benchrun
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"slices"
 	"testing"
 	"time"
 
@@ -19,7 +21,9 @@ import (
 	"bonsai/internal/build"
 	"bonsai/internal/config"
 	"bonsai/internal/core"
+	"bonsai/internal/ec"
 	"bonsai/internal/netgen"
+	"bonsai/internal/policy"
 	"bonsai/internal/verify"
 )
 
@@ -353,6 +357,35 @@ func Cases(smoke bool) []Case {
 		gen := func() *config.Network { return netgen.Ring(n) }
 		add(fmt.Sprintf("fresh/ring/nodes=%d/class", n), FreshClass(gen, 0))
 	}
+	slOpts := netgen.SpineLeafOptions{Spines: 16, Leaves: 160, ExtPerLeaf: 4, PrefixesPerExt: 2}
+	if smoke {
+		slOpts = netgen.SpineLeafOptions{Spines: 4, Leaves: 12, ExtPerLeaf: 2, PrefixesPerExt: 2}
+	}
+	slNodes := slOpts.Spines + slOpts.Leaves*(1+slOpts.ExtPerLeaf)
+	genSL := func() *config.Network { return netgen.SpineLeaf(slOpts) }
+	add(fmt.Sprintf("fresh/spineleaf/nodes=%d/class", slNodes), FreshClass(genSL, 0))
+
+	// Streaming pipeline: full-set compression through the public engine,
+	// unbounded versus a memory budget of half the unbounded footprint (the
+	// bounded-memory acceptance configuration), plus the scheduler's
+	// fingerprint grouping against the old blocking fan-out.
+	streamK := 40 // 2000 nodes
+	if smoke {
+		streamK = 12 // 180 nodes
+	}
+	genStream := func() *config.Network { return netgen.Fattree(streamK, netgen.PolicyShortestPath) }
+	streamNodes := 5 * streamK * streamK / 4
+	add(fmt.Sprintf("stream/fattree/nodes=%d/unbounded", streamNodes), StreamSet(genStream, false))
+	add(fmt.Sprintf("stream/fattree/nodes=%d/budget-half", streamNodes), StreamSet(genStream, true))
+	streamRing := 2000
+	if smoke {
+		streamRing = 100
+	}
+	genStreamRing := func() *config.Network { return netgen.Ring(streamRing) }
+	add(fmt.Sprintf("stream/ring/nodes=%d/unbounded", streamRing), StreamSet(genStreamRing, false))
+	add(fmt.Sprintf("stream/ring/nodes=%d/budget-half", streamRing), StreamSet(genStreamRing, true))
+	add(fmt.Sprintf("sched/spineleaf/nodes=%d/grouped", slNodes), SchedFanOut(genSL, 4, true))
+	add(fmt.Sprintf("sched/spineleaf/nodes=%d/ungrouped", slNodes), SchedFanOut(genSL, 4, false))
 
 	dcOpts := netgen.DCOptions{}
 	if smoke {
@@ -416,4 +449,167 @@ func Cases(smoke bool) []Case {
 
 	add("bdd/adder64", BDDAdder(64))
 	return cs
+}
+
+// PeakHeap samples runtime.ReadMemStats on a fixed interval and records
+// the largest HeapAlloc observed. The bench harness wraps every case with
+// one so BENCH JSON carries a per-case peak-memory figure next to ns/op —
+// the regression signal for the bounded-memory streaming pipeline.
+// Sampling costs one brief stop-the-world per interval, identical across
+// the cases being compared.
+type PeakHeap struct {
+	stop chan struct{}
+	done chan struct{}
+	peak uint64
+}
+
+// StartPeakHeap begins sampling at the given interval (<= 0 means 2ms).
+func StartPeakHeap(interval time.Duration) *PeakHeap {
+	if interval <= 0 {
+		interval = 2 * time.Millisecond
+	}
+	p := &PeakHeap{stop: make(chan struct{}), done: make(chan struct{})}
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > p.peak {
+			p.peak = ms.HeapAlloc
+		}
+	}
+	sample()
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-p.stop:
+				sample()
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// Stop ends sampling and returns the peak HeapAlloc in bytes.
+func (p *PeakHeap) Stop() uint64 {
+	close(p.stop)
+	<-p.done
+	return p.peak
+}
+
+// StreamSet benchmarks full-class-set compression through the public
+// streaming pipeline (lazy enumeration -> fingerprint-grouped scheduler ->
+// bounded store), one cold engine per iteration. With halfBudget, the
+// abstraction store is bounded to half the unbounded footprint (measured
+// on a warm-up pass) — the acceptance configuration: peak memory must
+// drop while wall-clock stays within 1.2x of the unbounded run, because
+// eviction only ever touches entries the stream has finished with while
+// pinned transport seeds keep the symmetry fast path alive.
+func StreamSet(gen func() *config.Network, halfBudget bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		cfg := gen()
+		var budget int64
+		if halfBudget {
+			eng, err := bonsai.Open(cfg, bonsai.WithWorkers(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+				b.Fatal(err)
+			}
+			budget = eng.Stats().LiveBytes / 2
+			eng.Close()
+			// Collect the warm-up engine before sampling starts, so the
+			// peakHeapBytes metric below measures the bounded run alone.
+			runtime.GC()
+		}
+		var st bonsai.CacheStats
+		classes := 0
+		sampler := StartPeakHeap(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opts := []bonsai.Option{bonsai.WithWorkers(1)}
+			if budget > 0 {
+				opts = append(opts, bonsai.WithMemoryBudget(budget))
+			}
+			eng, err := bonsai.Open(cfg, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := eng.CompressStream(ctx, bonsai.ClassSelector{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			for range s.Results() {
+				n++
+			}
+			if err := s.Err(); err != nil {
+				b.Fatal(err)
+			}
+			classes = n
+			st = eng.Stats()
+			eng.Close()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(sampler.Stop()), "peakHeapBytes")
+		b.ReportMetric(float64(classes), "classes")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(max(classes, 1)), "ns/class")
+		b.ReportMetric(float64(st.PeakBytes), "storePeakBytes")
+		b.ReportMetric(float64(st.Evictions), "storeEvictions")
+		if st.DuplicateFresh != 0 {
+			b.Fatalf("duplicate fresh compressions: %+v", st)
+		}
+	}
+}
+
+// SchedFanOut benchmarks the class fan-out at the builder layer with the
+// work-stealing scheduler, grouped by fingerprint versus ungrouped
+// (followers block on the single-flight slot, the pre-scheduler shape).
+// The delta between the two cases is the wall-clock win of deliberate
+// leader-first ordering; it grows with cores and with the share of
+// identity-shared classes.
+func SchedFanOut(gen func() *config.Network, workers int, grouped bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		bd, err := build.New(gen())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		comps := make([]*policy.Compiler, workers)
+		for i := range comps {
+			comps[i] = bd.NewCompiler(true)
+		}
+		// Warm BDD tables.
+		if _, err := bd.CompressFresh(ctx, comps[0], bd.Classes()[0]); err != nil {
+			b.Fatal(err)
+		}
+		var key func(ec.Class) string
+		if grouped {
+			key = verify.FingerprintKey(bd)
+		}
+		classes := bd.Classes()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bd.InvalidateAbstractionCache()
+			err := verify.ForEachClassKeyed(ctx, slices.Values(classes), workers, key,
+				func(w int, cls ec.Class) error {
+					_, err := bd.Compress(ctx, comps[w], cls)
+					return err
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(classes)), "classes")
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(classes)), "ns/class")
+	}
 }

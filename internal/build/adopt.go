@@ -66,29 +66,28 @@ func (b *Builder) CachedAbstraction(cls ec.Class) (*core.Abstraction, bool) {
 }
 
 // cachedEntry looks up the completed cache entry for cls, consulting the
-// prefix index before falling back to a fingerprint computation.
+// prefix -> fingerprint memo before falling back to a fingerprint
+// computation. An entry the store has evicted is simply absent — the class
+// reads as cold, never as an error.
 func (b *Builder) cachedEntry(cls ec.Class) (*absEntry, bool) {
-	b.absMu.Lock()
-	if fp, ok := b.absByPrefix[cls.Prefix]; ok {
-		e, ok2 := b.absCache[fp]
-		b.absMu.Unlock()
-		if ok2 && e.done && e.err == nil {
-			return e, true
+	b.internMu.Lock()
+	fp, ok := b.fpByPrefix[cls.Prefix]
+	b.internMu.Unlock()
+	if !ok {
+		sig, err := b.classSignature(cls)
+		if err != nil {
+			return nil, false
 		}
-		return nil, false
+		fp = sig.fp
 	}
-	b.absMu.Unlock()
-	sig, err := b.classSignature(cls)
-	if err != nil {
-		return nil, false
-	}
-	b.absMu.Lock()
-	defer b.absMu.Unlock()
-	e, ok := b.absCache[sig.fp]
+	st := &b.store
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[fp]
 	if !ok || !e.done || e.err != nil {
 		return nil, false
 	}
-	b.absByPrefix[cls.Prefix] = sig.fp
+	st.lruTouch(e)
 	return e, true
 }
 
@@ -651,22 +650,25 @@ func (b *Builder) AdoptCompilerCaches(old *Builder) {
 	}
 }
 
-// install records an adopted abstraction in b's cache under sig. Adopted
+// install records an adopted abstraction in b's store under sig. Adopted
 // entries serve identity hits and future adoptions but are not symmetry
 // transport seeds (their label/color tables are left uncomputed to keep
-// Apply fast).
+// Apply fast), so they are evictable like any other entry — an evicted
+// adoption recompresses on its next query.
 func (ad *adoption) install(cls ec.Class, sig *classSig, abs *core.Abstraction, live []bool, prefs []int, out adoptOutcome) adoptOutcome {
 	b := ad.b
-	e := &absEntry{ready: make(chan struct{}), sig: sig, abs: abs, live: live, prefs: prefs, done: true}
+	e := &absEntry{ready: make(chan struct{}), sig: sig, fp: sig.fp, abs: abs, live: live, prefs: prefs, done: true, src: ProvAdopted}
 	close(e.ready)
-	b.absMu.Lock()
-	defer b.absMu.Unlock()
-	b.absByPrefix[cls.Prefix] = sig.fp
-	if _, ok := b.absCache[sig.fp]; ok {
+	st := &b.store
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.entries[sig.fp]; ok {
 		// An identity-shared class already installed this fingerprint.
 		return out
 	}
-	b.absCache[sig.fp] = e
-	b.absAdopted++
+	st.entries[sig.fp] = e
+	st.adopted++
+	st.account(e)
+	st.evict()
 	return out
 }

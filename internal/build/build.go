@@ -15,8 +15,11 @@ package build
 
 import (
 	"fmt"
+	"iter"
 	"net/netip"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"bonsai/internal/config"
 	"bonsai/internal/ec"
@@ -80,8 +83,9 @@ type Builder struct {
 	ospfCost  []int32 // -1 when the edge has no OSPF adjacency
 	ospfCross []bool
 
-	classesOnce sync.Once
-	classes     []ec.Class
+	classesOnce  sync.Once
+	classes      []ec.Class
+	classesReady atomic.Bool // classes is built (readable without the Once)
 
 	lpOnce sync.Once
 	lpUsed bool // some session route map sets a local preference (adopt.go)
@@ -94,22 +98,29 @@ type Builder struct {
 
 	// Cross-EC deduplication (dedup.go, transport.go): classes are
 	// fingerprinted and compressed once per distinct fingerprint; symmetric
-	// classes are served by verified partition transport.
-	sigRMs   []rmRef
-	sigACLs  []aclRef
-	iso      *isoTables
-	absMu    sync.Mutex
-	absCache map[string]*absEntry
-	// absByPrefix indexes completed cache entries by class prefix, so warm
-	// hits and incremental adoption skip recomputing the class fingerprint
-	// (prefix -> fp is deterministic within one Builder).
-	absByPrefix    map[netip.Prefix]string
-	isoIndex       map[uint64][]*absEntry
-	fpIntern       map[string]int32
-	absServed      int64
-	absFresh       int
-	absTransported int64
-	absAdopted     int
+	// classes are served by verified partition transport. Completed
+	// abstractions live in the bounded store (store.go); the fingerprint
+	// intern table and the prefix->fingerprint memo are Builder-lifetime
+	// (they grow with the class count, not with retained abstractions) and
+	// survive eviction so evicted classes re-enter the store without
+	// recomputing signatures they already proved deterministic.
+	sigRMs     []rmRef
+	sigACLs    []aclRef
+	iso        *isoTables
+	internMu   sync.Mutex
+	fpIntern   map[string]int32
+	fpByPrefix map[netip.Prefix]string
+	// sigMemo stashes, per fingerprint, one signature computed by
+	// ClassFingerprint (the scheduler's grouping key) for the group's
+	// leader to consume inside Compress — the leader would otherwise
+	// recompute the identical signature. Entries are deleted on
+	// consumption, so the memo holds at most one signature per in-flight
+	// group.
+	sigMemo map[string]*classSig
+	store   absStore
+
+	ncOnce sync.Once
+	nc     int // NumClasses memo
 }
 
 // maxCompilerCaches bounds the compiler->cache registry. Workflows that
@@ -130,16 +141,16 @@ func New(net *config.Network) (*Builder, error) {
 		return nil, fmt.Errorf("build: %w", err)
 	}
 	b := &Builder{
-		Cfg:         net,
-		G:           topo.New(),
-		bgpSess:     make(map[topo.Edge]bgpSession),
-		ospfAdj:     make(map[topo.Edge]ospfAdj),
-		compCaches:  make(map[*policy.Compiler]*compilerCache),
-		roleCache:   make(map[[2]bool]int),
-		absCache:    make(map[string]*absEntry),
-		absByPrefix: make(map[netip.Prefix]string),
-		isoIndex:    make(map[uint64][]*absEntry),
-		fpIntern:    make(map[string]int32),
+		Cfg:        net,
+		G:          topo.New(),
+		bgpSess:    make(map[topo.Edge]bgpSession),
+		ospfAdj:    make(map[topo.Edge]ospfAdj),
+		compCaches: make(map[*policy.Compiler]*compilerCache),
+		roleCache:  make(map[[2]bool]int),
+		fpIntern:   make(map[string]int32),
+		fpByPrefix: make(map[netip.Prefix]string),
+		sigMemo:    make(map[string]*classSig),
+		store:      newAbsStore(),
 	}
 	names := net.RouterNames()
 	b.routers = make([]*config.Router, 0, len(names))
@@ -246,13 +257,82 @@ func (b *Builder) buildEdgeTables() {
 // deterministically ordered by prefix (paper §5.1). The slice is computed
 // once and shared; callers must not modify it.
 func (b *Builder) Classes() []ec.Class {
-	b.classesOnce.Do(func() { b.classes = ec.Classes(b.Cfg) })
+	b.classesOnce.Do(func() {
+		b.classes = ec.Classes(b.Cfg)
+		b.classesReady.Store(true)
+	})
 	return b.classes
 }
 
 // ClassFor returns the destination class owning the given prefix.
 func (b *Builder) ClassFor(prefix string) (ec.Class, error) {
 	return ec.ClassFor(b.Cfg, prefix)
+}
+
+// ClassStream yields the destination classes lazily in the same
+// deterministic order as Classes, walking the prefix trie on demand. It is
+// the enumeration layer of the streaming pipeline: unlike Classes, it never
+// materializes (or memoizes) the class slice, so a consumer that hands each
+// class straight to a compression worker holds one class at a time. When
+// some caller has already paid for the memoized slice (Classes), repeated
+// streams serve from it instead of rebuilding the trie.
+func (b *Builder) ClassStream() iter.Seq[ec.Class] {
+	if b.classesReady.Load() {
+		return slices.Values(b.classes)
+	}
+	return ec.Stream(b.Cfg)
+}
+
+// NumClasses counts the destination classes without materializing them,
+// memoized per Builder (progress reporting and ratio denominators need the
+// count, not the slice).
+func (b *Builder) NumClasses() int {
+	b.ncOnce.Do(func() {
+		for range b.ClassStream() {
+			b.nc++
+		}
+	})
+	return b.nc
+}
+
+// ClassFingerprint returns the class's deduplication fingerprint — the
+// grouping key of the streaming scheduler: classes with equal fingerprints
+// share one abstraction, so the scheduler runs one leader per fingerprint
+// and parks the rest until the leader's result is cached. The prefix ->
+// fingerprint memo is Builder-lifetime (eviction from the abstraction
+// store never invalidates it: the mapping is deterministic), so repeated
+// streams pay the signature computation once per class.
+func (b *Builder) ClassFingerprint(cls ec.Class) (string, error) {
+	b.internMu.Lock()
+	fp, ok := b.fpByPrefix[cls.Prefix]
+	b.internMu.Unlock()
+	if ok {
+		return fp, nil
+	}
+	sig, err := b.classSignature(cls)
+	if err != nil {
+		return "", err
+	}
+	// Stash the signature for the group's leader (first one per
+	// fingerprint wins; group members share fingerprint semantics, so any
+	// member's signature serves the leader).
+	b.internMu.Lock()
+	if _, ok := b.sigMemo[sig.fp]; !ok {
+		b.sigMemo[sig.fp] = sig
+	}
+	b.internMu.Unlock()
+	return sig.fp, nil
+}
+
+// takeSig consumes a stashed signature for fp, if one exists.
+func (b *Builder) takeSig(fp string) *classSig {
+	b.internMu.Lock()
+	defer b.internMu.Unlock()
+	s := b.sigMemo[fp]
+	if s != nil {
+		delete(b.sigMemo, fp)
+	}
+	return s
 }
 
 // HasBGP reports whether any router runs BGP; if so, compression uses the

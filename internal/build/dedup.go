@@ -28,7 +28,6 @@ package build
 import (
 	"context"
 	"errors"
-	"net/netip"
 
 	"bonsai/internal/core"
 	"bonsai/internal/ec"
@@ -41,21 +40,58 @@ type aclRef struct {
 	name string
 }
 
-// absEntry is one single-flight slot of the abstraction cache: the first
+// Provenance reports where a Compress result came from: computed by full
+// refinement, transported through a verified symmetry, served from the
+// identity cache, or carried across an incremental update. The streaming
+// API surfaces it per class.
+type Provenance uint8
+
+// Provenance values.
+const (
+	ProvCached Provenance = iota
+	ProvFresh
+	ProvTransported
+	ProvAdopted
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case ProvFresh:
+		return "fresh"
+	case ProvTransported:
+		return "transported"
+	case ProvAdopted:
+		return "adopted"
+	default:
+		return "cache"
+	}
+}
+
+// absEntry is one single-flight slot of the abstraction store: the first
 // worker to claim a fingerprint computes (or transports) the abstraction
 // while later workers block on ready and share the result. Every successful
 // entry carries its liveness and prefs vectors — fresh entries use them to
 // seed future symmetry transports, and incremental updates (adopt.go) use
 // them to carry entries across a configuration delta without BDD work.
+// Completed entries are byte-accounted and LRU-chained by the bounded
+// store (store.go); pinned transport seeds are exempt from eviction.
 type absEntry struct {
 	ready chan struct{}
 	abs   *core.Abstraction
 	err   error
 
+	fp    string
 	sig   *classSig
 	live  []bool // per edge index, aligned with Builder.G.Edges()
 	prefs []int  // per node
-	done  bool   // set under absMu once abs/err are final
+	done  bool   // set under store.mu once abs/err are final
+	src   Provenance
+
+	// Bounded-store bookkeeping (store.go), guarded by store.mu.
+	bytes      int64
+	pinned     bool // transport seed: never evicted
+	inLRU      bool
+	prev, next *absEntry
 }
 
 // collectSigRefs enumerates, once per Builder, the policy objects whose
@@ -109,44 +145,65 @@ func (b *Builder) collectSigRefs() {
 // live contexts retry the dropped slot rather than inheriting the foreign
 // cancellation.
 func (b *Builder) Compress(ctx context.Context, comp *policy.Compiler, cls ec.Class) (*core.Abstraction, error) {
+	abs, _, err := b.CompressTagged(ctx, comp, cls)
+	return abs, err
+}
+
+// CompressTagged is Compress with per-class provenance: whether the result
+// was computed fresh, transported through a symmetry, or served from the
+// identity cache. The streaming pipeline reports it per class.
+func (b *Builder) CompressTagged(ctx context.Context, comp *policy.Compiler, cls ec.Class) (*core.Abstraction, Provenance, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, ProvCached, err
 	}
-	// Warm-hit fast path: the prefix index answers without recomputing the
-	// class fingerprint.
-	b.absMu.Lock()
-	if fp, ok := b.absByPrefix[cls.Prefix]; ok {
-		if e, ok := b.absCache[fp]; ok {
-			b.absServed++
-			b.absMu.Unlock()
+	st := &b.store
+	// Warm-hit fast path: the prefix -> fingerprint memo answers without
+	// recomputing the class fingerprint.
+	b.internMu.Lock()
+	fpMemo, memoOK := b.fpByPrefix[cls.Prefix]
+	b.internMu.Unlock()
+	if memoOK {
+		st.mu.Lock()
+		if e, ok := st.entries[fpMemo]; ok {
+			st.served++
+			st.lruTouch(e)
+			st.mu.Unlock()
 			if abs, err, retry := waitEntry(ctx, e); !retry {
-				return abs, err
+				return abs, ProvCached, err
 			}
 		} else {
-			b.absMu.Unlock()
+			st.mu.Unlock()
 		}
-	} else {
-		b.absMu.Unlock()
 	}
-	sig, err := b.classSignature(cls)
-	if err != nil {
-		return nil, err
+	var sig *classSig
+	if memoOK {
+		// The scheduler's grouping key already computed this class's
+		// signature; consume it instead of recomputing.
+		sig = b.takeSig(fpMemo)
+	}
+	if sig == nil {
+		var err error
+		sig, err = b.classSignature(cls)
+		if err != nil {
+			return nil, ProvCached, err
+		}
 	}
 	var e *absEntry
 	for {
-		b.absMu.Lock()
-		if prev, ok := b.absCache[sig.fp]; ok {
-			b.absServed++
-			b.absByPrefix[cls.Prefix] = sig.fp
-			b.absMu.Unlock()
+		st.mu.Lock()
+		if prev, ok := st.entries[sig.fp]; ok {
+			st.served++
+			st.lruTouch(prev)
+			st.mu.Unlock()
 			if abs, err, retry := waitEntry(ctx, prev); !retry {
-				return abs, err
+				return abs, ProvCached, err
 			}
 			continue
 		}
-		e = &absEntry{ready: make(chan struct{}), sig: sig}
-		b.absCache[sig.fp] = e
-		b.absMu.Unlock()
+		e = &absEntry{ready: make(chan struct{}), sig: sig, fp: sig.fp}
+		st.entries[sig.fp] = e
+		st.misses++
+		st.mu.Unlock()
 		break
 	}
 
@@ -155,13 +212,13 @@ func (b *Builder) Compress(ctx context.Context, comp *policy.Compiler, cls ec.Cl
 	// matching label histogram.
 	b.ensureLabels(sig)
 	var cands []*absEntry
-	b.absMu.Lock()
-	for _, c := range b.isoIndex[sig.histo] {
+	st.mu.Lock()
+	for _, c := range st.isoIndex[sig.histo] {
 		if c.done && c.err == nil && c.abs.ColorSplits == 0 {
 			cands = append(cands, c)
 		}
 	}
-	b.absMu.Unlock()
+	st.mu.Unlock()
 
 	var transported bool
 	for _, c := range cands {
@@ -186,33 +243,54 @@ func (b *Builder) Compress(ctx context.Context, comp *policy.Compiler, cls ec.Cl
 			// G.Edges() — no re-derivation of edge keys.
 			e.live = e.abs.Live
 			e.prefs = b.prefsVec(cls)
-			// Future transports read this entry's colors concurrently;
-			// compute them now, while the entry is still private, so no
-			// lazy write can race with candidate reads.
-			b.ensureColors(sig)
+			if e.abs.ColorSplits == 0 {
+				// This entry will be pinned as a transport seed: future
+				// transports read its colors concurrently, so compute them
+				// now, while the entry is still private, so no lazy write
+				// can race with candidate reads.
+				b.ensureColors(sig)
+			}
 		}
 	}
 
-	b.absMu.Lock()
+	prov := ProvFresh
+	if transported {
+		prov = ProvTransported
+	}
+	st.mu.Lock()
 	if e.err != nil {
 		// Drop failed entries so a later call can retry; waiters already
 		// holding e still observe the error.
-		delete(b.absCache, sig.fp)
+		delete(st.entries, sig.fp)
 	} else {
 		e.done = true
-		b.absByPrefix[cls.Prefix] = sig.fp
+		e.src = prov
 		if transported {
-			b.absTransported++
+			st.transported++
 		} else {
-			b.absFresh++
-			// Only fresh entries seed transports: one seed per symmetry
-			// family keeps the index and the retained vectors small.
-			b.isoIndex[sig.histo] = append(b.isoIndex[sig.histo], e)
+			if cur, ok := st.entries[sig.fp]; ok && cur != e && cur.done {
+				// A second fresh refinement completed for a fingerprint that
+				// already has a live result: single-flight (or the
+				// scheduler's leader-first ordering) has been broken and
+				// work was duplicated. Recorded, and asserted zero in tests.
+				st.dupFresh++
+			}
+			st.fresh++
+			if e.abs.ColorSplits == 0 {
+				// Only ColorSplits-free fresh entries seed transports (the
+				// candidate scan would skip others anyway): one pinned seed
+				// per symmetry family keeps the index small and eviction
+				// away from the entries the whole family depends on.
+				e.pinned = true
+				st.isoIndex[sig.histo] = append(st.isoIndex[sig.histo], e)
+			}
 		}
+		st.account(e)
+		st.evict()
 	}
-	b.absMu.Unlock()
+	st.mu.Unlock()
 	close(e.ready)
-	return e.abs, e.err
+	return e.abs, prov, e.err
 }
 
 // waitEntry blocks on a single-flight slot. retry is true when the entry
@@ -258,41 +336,60 @@ func (b *Builder) CompressFresh(ctx context.Context, comp *policy.Compiler, cls 
 	return abs, nil
 }
 
-// CacheStats is the state of the cross-EC deduplication cache.
+// CacheStats is the state of the cross-EC abstraction store.
 type CacheStats struct {
 	// Fresh counts abstractions computed by full refinement.
 	Fresh int
 	// Transported counts abstractions served by symmetry transport.
 	Transported int64
-	// Served counts Compress calls answered from the identity cache.
+	// Served counts Compress calls answered from the identity cache (the
+	// store's hit counter).
 	Served int64
 	// Adopted counts abstractions carried across an incremental update by
-	// partition re-validation (AdoptAbstraction) instead of recompression.
+	// partition re-validation (adopt.go) instead of recompression.
 	Adopted int
+	// Misses counts Compress calls that had to compute: first touches and
+	// recompressions of evicted classes. Every miss becomes Fresh or
+	// Transported (or an error).
+	Misses int64
+	// Evictions counts entries dropped by the memory budget; LiveBytes and
+	// PeakBytes are the store's current and high-water accounted footprint,
+	// BudgetBytes its configured ceiling (0 = unbounded).
+	Evictions   int64
+	LiveBytes   int64
+	PeakBytes   int64
+	BudgetBytes int64
+	// DuplicateFresh counts fresh refinements that completed for a
+	// fingerprint already holding a live result — duplicated work that the
+	// single-flight protocol and the scheduler's leader-first ordering
+	// exist to prevent. Zero in a healthy engine; tests assert it.
+	DuplicateFresh int64
 }
 
-// AbstractionCacheStats reports the deduplication cache state.
+// AbstractionCacheStats reports the abstraction store state.
 func (b *Builder) AbstractionCacheStats() CacheStats {
-	b.absMu.Lock()
-	defer b.absMu.Unlock()
+	st := &b.store
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	return CacheStats{
-		Fresh:       b.absFresh,
-		Transported: b.absTransported,
-		Served:      b.absServed,
-		Adopted:     b.absAdopted,
+		Fresh:          st.fresh,
+		Transported:    st.transported,
+		Served:         st.served,
+		Adopted:        st.adopted,
+		Misses:         st.misses,
+		Evictions:      st.evictions,
+		LiveBytes:      st.bytes,
+		PeakBytes:      st.peak,
+		BudgetBytes:    st.budget,
+		DuplicateFresh: st.dupFresh,
 	}
 }
 
-// InvalidateAbstractionCache empties the deduplication cache and resets its
-// counters. Benchmarks use it to measure full-class-set cost per iteration.
+// InvalidateAbstractionCache empties the abstraction store and resets its
+// counters, keeping the configured budget. Benchmarks use it to measure
+// full-class-set cost per iteration.
 func (b *Builder) InvalidateAbstractionCache() {
-	b.absMu.Lock()
-	defer b.absMu.Unlock()
-	b.absCache = make(map[string]*absEntry)
-	b.absByPrefix = make(map[netip.Prefix]string)
-	b.isoIndex = make(map[uint64][]*absEntry)
-	b.absServed = 0
-	b.absFresh = 0
-	b.absTransported = 0
-	b.absAdopted = 0
+	b.store.mu.Lock()
+	defer b.store.mu.Unlock()
+	b.store.reset()
 }

@@ -101,6 +101,9 @@ func TestDedupMatchesIndependentCompression(t *testing.T) {
 		{"ring", netgen.Ring(24)},
 		{"mesh", netgen.FullMesh(12)},
 		{"bgp-diamond", bgpDiamond()},
+		{"spineleaf", netgen.SpineLeaf(netgen.SpineLeafOptions{
+			Spines: 3, Leaves: 4, ExtPerLeaf: 2, PrefixesPerExt: 2,
+		})},
 	}
 	for _, tc := range nets {
 		t.Run(tc.name, func(t *testing.T) {
@@ -122,13 +125,19 @@ func TestDedupMatchesIndependentCompression(t *testing.T) {
 			}
 			cstats := b.AbstractionCacheStats()
 			fresh, transported := cstats.Fresh, cstats.Transported
-			if fresh+int(transported) != len(b.Classes()) {
-				t.Fatalf("cache accounting: fresh=%d transported=%d classes=%d",
-					fresh, transported, len(b.Classes()))
+			// Every class is computed (fresh or transported) or served from
+			// the identity cache (spineleaf: prefixes of one external share
+			// a fingerprint).
+			if int64(fresh)+transported+cstats.Served != int64(len(b.Classes())) {
+				t.Fatalf("cache accounting: fresh=%d transported=%d served=%d classes=%d",
+					fresh, transported, cstats.Served, len(b.Classes()))
+			}
+			if cstats.DuplicateFresh != 0 {
+				t.Fatalf("duplicate fresh compressions: %+v", cstats)
 			}
 			// The symmetric evaluation networks must actually deduplicate —
 			// the optimisation the benchmarks rely on.
-			if tc.name == "fattree" || tc.name == "ring" || tc.name == "mesh" {
+			if tc.name == "fattree" || tc.name == "ring" || tc.name == "mesh" || tc.name == "spineleaf" {
 				if fresh != 1 {
 					t.Errorf("%s: expected 1 fresh compression, got %d (transported %d)",
 						tc.name, fresh, transported)

@@ -295,7 +295,7 @@ func (b *Builder) classSignature(cls ec.Class) (*classSig, error) {
 		}
 		offs[i+1] = len(bits)
 	}
-	b.absMu.Lock()
+	b.internMu.Lock()
 	for i := range b.sigRMs {
 		key := bits[offs[i]:offs[i+1]]
 		id, ok := b.fpIntern[string(key)]
@@ -305,7 +305,7 @@ func (b *Builder) classSignature(cls ec.Class) (*classSig, error) {
 		}
 		s.fpIDs[i] = id
 	}
-	b.absMu.Unlock()
+	b.internMu.Unlock()
 	for i := range b.sigRMs {
 		fp = strconv.AppendInt(fp, int64(s.fpIDs[i]), 10)
 		fp = append(fp, ';')
@@ -316,6 +316,13 @@ func (b *Builder) classSignature(cls ec.Class) (*classSig, error) {
 		fp = appendFlag(fp, s.aclV[i])
 	}
 	s.fp = string(fp)
+	// Memoize prefix -> fingerprint for the Builder's lifetime: the mapping
+	// is deterministic, so warm-hit paths and the scheduler's grouping key
+	// never need to recompute a signature for a class seen before — even
+	// after its store entry is evicted.
+	b.internMu.Lock()
+	b.fpByPrefix[cls.Prefix] = s.fp
+	b.internMu.Unlock()
 	return s, nil
 }
 

@@ -8,6 +8,7 @@ package ec
 
 import (
 	"fmt"
+	"iter"
 	"net/netip"
 
 	"bonsai/internal/config"
@@ -17,16 +18,30 @@ import (
 // Class re-exports trie.Class: a representative prefix plus origin routers.
 type Class = trie.Class
 
-// Classes returns the destination equivalence classes of the network, one
-// per originated prefix that is the longest match for some address.
-func Classes(n *config.Network) []Class {
+// Stream yields the destination equivalence classes of the network lazily,
+// one per originated prefix that is the longest match for some address, in
+// the same deterministic (address, prefix length) order as Classes. The
+// prefix trie is walked on demand, so consumers that stop early — or that
+// hand each class straight to a compression worker — never hold the full
+// class slice.
+func Stream(n *config.Network) iter.Seq[Class] {
 	t := trie.New()
 	for p, origins := range n.OriginatedPrefixes() {
 		for _, o := range origins {
 			t.Insert(p, o)
 		}
 	}
-	return t.Classes()
+	return t.All()
+}
+
+// Classes returns the destination equivalence classes of the network as a
+// slice: a thin collector over Stream for callers that index or re-iterate.
+func Classes(n *config.Network) []Class {
+	var out []Class
+	for c := range Stream(n) {
+		out = append(out, c)
+	}
+	return out
 }
 
 // ClassFor returns the class owning the given prefix's address, for queries

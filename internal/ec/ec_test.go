@@ -2,6 +2,7 @@ package ec
 
 import (
 	"net/netip"
+	"reflect"
 	"testing"
 
 	"bonsai/internal/config"
@@ -65,4 +66,28 @@ func TestAnycastOrigins(t *testing.T) {
 		}
 	}
 	t.Fatal("class missing")
+}
+
+// TestStreamMatchesClasses proves the lazy enumeration yields exactly the
+// eager slice, in order, and that early termination stops the walk.
+func TestStreamMatchesClasses(t *testing.T) {
+	n := demoNet()
+	want := Classes(n)
+	var got []Class
+	for c := range Stream(n) {
+		got = append(got, c)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Stream != Classes:\n got %+v\nwant %+v", got, want)
+	}
+	seen := 0
+	for range Stream(n) {
+		seen++
+		if seen == 2 {
+			break
+		}
+	}
+	if seen != 2 {
+		t.Fatalf("early stop consumed %d", seen)
+	}
 }

@@ -236,3 +236,59 @@ func TestGeneratorPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestSpineLeafShape(t *testing.T) {
+	o := SpineLeafOptions{Spines: 3, Leaves: 4, ExtPerLeaf: 2, PrefixesPerExt: 2}
+	n := SpineLeaf(o)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := build.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.G.NumNodes(), 3+4*(1+2); got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	if got, want := len(ec.Classes(n)), 4*2*2; got != want {
+		t.Fatalf("classes = %d, want %d", got, want)
+	}
+	// CP equivalence on the first class (the shared gauntlet helper).
+	compressFirstClass(t, b)
+
+	// The scenario must exercise both reuse levels: identity sharing
+	// within one external peer (equal fingerprints) and symmetry transport
+	// across externals — one fresh compression for the whole network.
+	comp := b.NewCompiler(true)
+	for _, cls := range b.Classes() {
+		if _, err := b.Compress(context.Background(), comp, cls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := b.AbstractionCacheStats()
+	if st.Fresh != 1 {
+		t.Errorf("fresh compressions = %d, want 1 (transported %d, served %d)",
+			st.Fresh, st.Transported, st.Served)
+	}
+	if st.Served == 0 {
+		t.Error("no identity-shared classes; PrefixesPerExt > 1 should share fingerprints")
+	}
+	if st.Transported == 0 {
+		t.Error("no symmetry transports across externals")
+	}
+}
+
+func TestSpineLeafPreferExternal(t *testing.T) {
+	n := SpineLeaf(SpineLeafOptions{Spines: 2, Leaves: 3, ExtPerLeaf: 1, PrefixesPerExt: 1, PreferExternal: true})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := build.New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.UsesLocalPref() {
+		t.Fatal("PreferExternal did not install a local-preference policy")
+	}
+	compressFirstClass(t, b)
+}

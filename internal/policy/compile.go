@@ -283,3 +283,7 @@ func (c *Compiler) Apply(rel bdd.Node, comms protocols.CommSet, lp uint32) (prot
 	}
 	return out, lpOut, true
 }
+
+// Close releases the compiler's BDD manager (unique table and operation
+// caches). The compiler must not be used afterwards; Close is idempotent.
+func (c *Compiler) Close() { c.M.Close() }

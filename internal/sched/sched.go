@@ -1,0 +1,265 @@
+// Package sched is the sharded scheduler of the streaming compression
+// pipeline. It fans work items out over per-worker deques with
+// work-stealing (each worker pops its own deque newest-first and steals
+// oldest-first from the others), and — its reason to exist over a plain
+// worker pool — understands *fingerprint groups*: items sharing a group key
+// are known in advance to reduce to the same computation, so only the first
+// item of a group (its leader) is scheduled immediately, and the rest wait
+// parked off-queue until the leader completes. Followers then run on the
+// warm result (an identity cache hit in the compression pipeline) without
+// ever occupying a worker while the leader is still computing.
+//
+// Before this package, that ordering was accidental: the fan-out in
+// internal/verify dispatched every class immediately and duplicate-
+// fingerprint classes simply blocked on the Builder's single-flight slot,
+// holding a worker (and its policy compiler) hostage for the leader's whole
+// refinement run. Here the ordering is deliberate: a group's followers
+// consume no worker until their result is already cached, so workers stay
+// busy with classes that still need computing. Run never executes two
+// leaders of one group, which the Builder's DuplicateFresh statistic
+// (asserted zero in the tests) makes observable.
+//
+// Items are consumed from an iter.Seq, so the caller can stream them (e.g.
+// from the prefix-trie walk of internal/ec) without materializing a slice;
+// dispatch happens on the calling goroutine and blocks once the in-flight
+// count (queued tasks plus parked followers) reaches a small per-shard
+// bound, so memory stays O(shards) however long the sequence is — the
+// backpressure the pipeline's bounded-memory claim rests on.
+package sched
+
+import (
+	"context"
+	"iter"
+	"sync"
+)
+
+// Options configures one Run.
+type Options struct {
+	// Shards is the number of worker goroutines, each owning one deque (and,
+	// in the compression pipeline, one policy compiler). Values below 1 mean
+	// 1.
+	Shards int
+}
+
+// Stats reports what one Run did.
+type Stats struct {
+	// Items counts work items consumed from the sequence; Groups counts
+	// distinct group keys among them (ungrouped items count as their own
+	// group). Followers counts items that waited for a leader.
+	Items     int64
+	Groups    int64
+	Followers int64
+	// Steals counts tasks a worker took from another worker's deque.
+	Steals int64
+}
+
+// task is one schedulable unit.
+type task[T any] struct {
+	item   T
+	g      *group[T] // nil for ungrouped items
+	leader bool
+}
+
+// group tracks one fingerprint group's single-flight state. pending holds
+// followers that arrived before the leader completed; they are flushed onto
+// the finishing worker's deque (the shard whose caches are warmest).
+type group[T any] struct {
+	done    bool
+	pending []T
+}
+
+// Run consumes items from seq and executes do(worker, item) for each, with
+// worker < opts.Shards identifying the executing shard (callers attach
+// per-worker state — policy compilers — by index). key, when non-nil,
+// assigns each item its fingerprint group; items with equal non-empty keys
+// are single-flighted as described in the package comment, and an empty key
+// means ungrouped. The first error from do stops the run (remaining tasks
+// are drained, not executed), as does ctx cancellation, which wins over any
+// concurrent task error.
+func Run[T any](ctx context.Context, seq iter.Seq[T], opts Options, key func(T) string, do func(worker int, item T) error) (Stats, error) {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	s := &state[T]{
+		deques: make([][]task[T], shards),
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			s.work(ctx, worker, do)
+		}(w)
+	}
+
+	// Dispatch throttle: enough tasks to keep every shard busy and give
+	// steals a choice, few enough that an arbitrarily long sequence never
+	// accumulates in the deques.
+	limit := 8 * shards
+	groups := make(map[string]*group[T])
+	next := 0 // round-robin dispatch shard
+	for item := range seq {
+		if !s.throttle(ctx, limit) {
+			break
+		}
+		s.stats.Items++
+		k := ""
+		if key != nil {
+			k = key(item)
+		}
+		if k == "" {
+			s.stats.Groups++
+			s.enqueue(next, task[T]{item: item})
+			next = (next + 1) % shards
+			continue
+		}
+		g, ok := groups[k]
+		if !ok {
+			g = &group[T]{}
+			groups[k] = g
+			s.stats.Groups++
+			s.enqueue(next, task[T]{item: item, g: g, leader: true})
+			next = (next + 1) % shards
+			continue
+		}
+		s.stats.Followers++
+		// The group lock is s.mu: leaders flip g.done under it.
+		s.mu.Lock()
+		if g.done {
+			s.pushLocked(next, task[T]{item: item, g: g})
+			next = (next + 1) % shards
+			s.inflight++
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			continue
+		}
+		g.pending = append(g.pending, item)
+		s.inflight++ // parked followers still count toward termination
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.dispatchDone = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return s.stats, err
+	}
+	return s.stats, s.err
+}
+
+// state is the shared side of one Run. One mutex guards the deques, the
+// termination counters and the group flags: tasks are coarse (a compression
+// run is milliseconds; queue operations are nanoseconds), so sharding the
+// *data* — each worker preferring its own deque — matters for locality and
+// fairness, while sharding the lock would buy nothing measurable.
+type state[T any] struct {
+	mu           sync.Mutex
+	cond         *sync.Cond
+	deques       [][]task[T]
+	inflight     int // enqueued or parked, not yet completed
+	dispatchDone bool
+	err          error
+	stopped      bool
+	stats        Stats
+}
+
+// throttle blocks until fewer than limit tasks are in flight (workers
+// broadcast on every completion), reporting false when dispatch should
+// stop instead. Progress is guaranteed: every in-flight task is queued,
+// running, or parked behind a queued or running leader, so workers always
+// drain the count. ctx is only polled — a worker observes the cancellation
+// and sets stopped, which is broadcast.
+func (s *state[T]) throttle(ctx context.Context, limit int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.inflight >= limit && !s.stopped && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	return !s.stopped && ctx.Err() == nil
+}
+
+// enqueue pushes a task onto a shard's deque and accounts it in-flight.
+func (s *state[T]) enqueue(shard int, t task[T]) {
+	s.mu.Lock()
+	s.pushLocked(shard, t)
+	s.inflight++
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *state[T]) pushLocked(shard int, t task[T]) {
+	s.deques[shard] = append(s.deques[shard], t)
+}
+
+// take pops the worker's own deque newest-first, else steals oldest-first
+// from another shard, scanning from the next shard up for fairness. ok is
+// false when every deque is empty.
+func (s *state[T]) take(worker int) (task[T], bool) {
+	if d := s.deques[worker]; len(d) > 0 {
+		t := d[len(d)-1]
+		s.deques[worker] = d[:len(d)-1]
+		return t, true
+	}
+	for i := 1; i < len(s.deques); i++ {
+		v := (worker + i) % len(s.deques)
+		if d := s.deques[v]; len(d) > 0 {
+			t := d[0]
+			s.deques[v] = d[1:]
+			s.stats.Steals++
+			return t, true
+		}
+	}
+	var zero task[T]
+	return zero, false
+}
+
+// work is one worker's loop: take (own deque, then steal), run, flush the
+// task's group on leader completion, until dispatch has finished and no
+// task is in flight.
+func (s *state[T]) work(ctx context.Context, worker int, do func(worker int, item T) error) {
+	for {
+		s.mu.Lock()
+		t, ok := s.take(worker)
+		for !ok {
+			if s.inflight == 0 && s.dispatchDone {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			t, ok = s.take(worker)
+		}
+		run := !s.stopped && ctx.Err() == nil
+		s.mu.Unlock()
+
+		var err error
+		if run {
+			err = do(worker, t.item)
+		}
+		s.mu.Lock()
+		if err != nil && s.err == nil {
+			s.err = err
+			s.stopped = true
+		}
+		if ctx.Err() != nil {
+			s.stopped = true
+		}
+		if t.leader {
+			// Flush parked followers onto this worker's deque even when
+			// stopping: they are in-flight and must be drained for
+			// termination; run=false skips their execution.
+			t.g.done = true
+			for _, item := range t.g.pending {
+				s.pushLocked(worker, task[T]{item: item, g: t.g})
+			}
+			t.g.pending = nil
+		}
+		s.inflight--
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func seqOf(n int) iter.Seq[int] {
+	return func(yield func(int) bool) {
+		for i := 0; i < n; i++ {
+			if !yield(i) {
+				return
+			}
+		}
+	}
+}
+
+func TestRunExecutesEveryItem(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		var mu sync.Mutex
+		var got []int
+		st, err := Run(context.Background(), seqOf(100), Options{Shards: shards}, nil,
+			func(_ int, item int) error {
+				mu.Lock()
+				got = append(got, item)
+				mu.Unlock()
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slices.Sort(got)
+		if len(got) != 100 || got[0] != 0 || got[99] != 99 {
+			t.Fatalf("shards=%d: ran %d items", shards, len(got))
+		}
+		if st.Items != 100 || st.Groups != 100 || st.Followers != 0 {
+			t.Fatalf("shards=%d: stats %+v", shards, st)
+		}
+	}
+}
+
+// TestLeaderRunsBeforeFollowers is the single-flight ordering property: for
+// every group, the leader's do call must have completed before any
+// follower's begins, and exactly one item per group is the leader.
+func TestLeaderRunsBeforeFollowers(t *testing.T) {
+	const groups, per = 7, 9
+	var mu sync.Mutex
+	leaderDone := make(map[string]bool)
+	firstPerGroup := make(map[string]int)
+	items := func(yield func(int) bool) {
+		for i := 0; i < groups*per; i++ {
+			if !yield(i) {
+				return
+			}
+		}
+	}
+	key := func(i int) string { return fmt.Sprintf("g%d", i%groups) }
+	st, err := Run(context.Background(), items, Options{Shards: 4}, key,
+		func(_ int, item int) error {
+			k := key(item)
+			mu.Lock()
+			if !leaderDone[k] {
+				// We must be the group's leader: no other item of the group
+				// may run concurrently with or before us.
+				if n, ok := firstPerGroup[k]; ok {
+					mu.Unlock()
+					return fmt.Errorf("two leaders for %s: %d and %d", k, n, item)
+				}
+				firstPerGroup[k] = item
+				mu.Unlock()
+				time.Sleep(time.Millisecond) // widen the race window
+				mu.Lock()
+				leaderDone[k] = true
+			}
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != groups || st.Items != groups*per {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Followers == 0 {
+		t.Fatal("no followers parked; grouping inert")
+	}
+}
+
+func TestErrorStopsRun(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Run(context.Background(), seqOf(1000), Options{Shards: 4}, nil,
+		func(_ int, item int) error {
+			if ran.Add(1) == 5 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("error did not stop the run (%d items ran)", n)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	_, err := Run(ctx, seqOf(10000), Options{Shards: 2}, nil,
+		func(_ int, item int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatal("cancellation did not stop the run")
+	}
+}
+
+// TestLeaderErrorDrainsFollowers: a failing leader must not deadlock its
+// parked followers — the run terminates and reports the leader's error.
+func TestLeaderErrorDrainsFollowers(t *testing.T) {
+	boom := errors.New("leader failed")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(context.Background(), seqOf(50), Options{Shards: 2},
+			func(i int) string { return "all-one-group" },
+			func(_ int, item int) error { return boom })
+		if !errors.Is(err, boom) {
+			t.Errorf("err = %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run deadlocked on parked followers")
+	}
+}
+
+// TestStealing: a deliberately skewed dispatch (everything grouped onto few
+// leaders completing on one shard) must still use all workers via steals.
+func TestStealing(t *testing.T) {
+	var workers sync.Map
+	st, err := Run(context.Background(), seqOf(64), Options{Shards: 4}, nil,
+		func(w int, item int) error {
+			workers.Store(w, true)
+			time.Sleep(200 * time.Microsecond)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	workers.Range(func(_, _ any) bool { n++; return true })
+	if n < 2 {
+		t.Skipf("only %d workers ran (single-CPU scheduling); steals=%d", n, st.Steals)
+	}
+}
+
+// TestFollowersAfterDoneDispatchImmediately: items of a group arriving after
+// the leader completed must not park forever.
+func TestFollowersAfterDoneDispatchImmediately(t *testing.T) {
+	release := make(chan struct{})
+	var first atomic.Bool
+	first.Store(true)
+	seq := func(yield func(int) bool) {
+		if !yield(0) { // leader
+			return
+		}
+		<-release // leader has certainly completed
+		for i := 1; i < 10; i++ {
+			if !yield(i) {
+				return
+			}
+		}
+	}
+	st, err := Run(context.Background(), seq, Options{Shards: 2},
+		func(int) string { return "g" },
+		func(_ int, item int) error {
+			if first.CompareAndSwap(true, false) {
+				close(release)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != 10 || st.Groups != 1 || st.Followers != 9 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestDispatchBackpressure: with workers blocked, the dispatcher must stop
+// consuming the sequence once the in-flight bound is reached — the
+// bounded-memory property of streaming dispatch.
+func TestDispatchBackpressure(t *testing.T) {
+	const shards = 2
+	release := make(chan struct{})
+	var yielded atomic.Int64
+	seq := func(yield func(int) bool) {
+		for i := 0; i < 100000; i++ {
+			if !yield(i) {
+				return
+			}
+			yielded.Add(1)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(context.Background(), seq, Options{Shards: shards}, nil,
+			func(_ int, item int) error {
+				<-release
+				return nil
+			})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	// Give the dispatcher ample time to run ahead if it were unbounded.
+	time.Sleep(100 * time.Millisecond)
+	if n := yielded.Load(); n > 8*shards+shards {
+		t.Errorf("dispatcher ran ahead: %d items consumed while workers blocked", n)
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not finish after release")
+	}
+	if n := yielded.Load(); n != 100000 {
+		t.Fatalf("consumed %d items", n)
+	}
+}

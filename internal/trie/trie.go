@@ -7,6 +7,7 @@ package trie
 
 import (
 	"fmt"
+	"iter"
 	"net/netip"
 	"sort"
 )
@@ -104,33 +105,56 @@ type Class struct {
 
 // Classes returns one equivalence class per inserted prefix that is the
 // longest match for at least one address (i.e. is not fully shadowed by
-// longer inserted prefixes). Classes are sorted by prefix.
+// longer inserted prefixes). Classes are sorted by prefix. It is a plain
+// collector over All; streaming consumers should range over All directly.
 func (t *Trie) Classes() []Class {
-	var out []Class
-	var walk func(n *node) bool // reports whether subtree fully covers its range
-	walk = func(n *node) bool {
-		if n == nil {
-			return false
-		}
-		loCovered := walk(n.lo)
-		hiCovered := walk(n.hi)
-		covered := loCovered && hiCovered
-		if n.term {
-			if !covered {
-				out = append(out, Class{Prefix: n.prefix, Origins: sortedKeys(n.origins)})
-			}
-			return true
-		}
-		return covered
+	out := make([]Class, 0, t.n)
+	for c := range t.All() {
+		out = append(out, c)
 	}
-	walk(t.root)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
-			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
-		}
-		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
-	})
 	return out
+}
+
+// All yields the equivalence classes of Classes lazily, in the same sorted
+// (address, then prefix length) order, without materializing the class
+// slice. A pre-order walk (node, then low child, then high child) emits
+// prefixes in exactly that order: a parent's base address is the smallest
+// address of its subtree and shorter prefixes sort first on ties. Whether a
+// term node is shadowed by its descendants is only known bottom-up, so a
+// cheap coverage pass over the trie nodes runs first; per-class work
+// (sorting origin sets) stays inside the yield loop and stops as soon as
+// the consumer does.
+func (t *Trie) All() iter.Seq[Class] {
+	return func(yield func(Class) bool) {
+		// Coverage pass: covered[n] reports whether n's strict descendants
+		// fully cover n's address range. Kept in a side map so concurrent
+		// iterations never write trie nodes.
+		covered := make(map[*node]bool)
+		var cover func(n *node) bool // whether subtree fully covers its range
+		cover = func(n *node) bool {
+			if n == nil {
+				return false
+			}
+			lo, hi := cover(n.lo), cover(n.hi)
+			c := lo && hi
+			covered[n] = c
+			return n.term || c
+		}
+		cover(t.root)
+		var walk func(n *node) bool
+		walk = func(n *node) bool {
+			if n == nil {
+				return true
+			}
+			if n.term && !covered[n] {
+				if !yield(Class{Prefix: n.prefix, Origins: sortedKeys(n.origins)}) {
+					return false
+				}
+			}
+			return walk(n.lo) && walk(n.hi)
+		}
+		walk(t.root)
+	}
 }
 
 func addrBits(a netip.Addr) uint32 {

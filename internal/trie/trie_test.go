@@ -1,7 +1,10 @@
 package trie
 
 import (
+	"fmt"
 	"net/netip"
+	"reflect"
+	"sort"
 	"testing"
 )
 
@@ -101,4 +104,74 @@ func TestRejectIPv6(t *testing.T) {
 		}
 	}()
 	New().Insert(netip.MustParsePrefix("2001:db8::/32"), "x")
+}
+
+// TestAllMatchesSortedClasses proves the streaming walk's emission order:
+// pre-order (node, low, high) over the trie must equal the explicit
+// (address, prefix length) sort the eager collector used to perform,
+// including nested and partially shadowed prefixes.
+func TestAllMatchesSortedClasses(t *testing.T) {
+	tr := New()
+	inserts := []struct {
+		p string
+		o string
+	}{
+		{"10.0.0.0/8", "root"},
+		{"10.0.0.0/24", "a"},
+		{"10.0.0.0/25", "lo"},
+		{"10.0.0.128/25", "hi"},
+		{"10.0.1.0/24", "b"},
+		{"10.128.0.0/9", "upper"},
+		{"10.64.3.0/24", "mid"},
+		{"0.0.0.0/0", "gw"},
+		{"192.168.5.0/24", "edge"},
+	}
+	for _, in := range inserts {
+		tr.Insert(pfx(in.p), in.o)
+	}
+	// Reference: collect, then sort the way the eager collector did.
+	var want []Class
+	for c := range tr.All() {
+		want = append(want, c)
+	}
+	sorted := append([]Class(nil), want...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Prefix.Addr() != sorted[j].Prefix.Addr() {
+			return sorted[i].Prefix.Addr().Less(sorted[j].Prefix.Addr())
+		}
+		return sorted[i].Prefix.Bits() < sorted[j].Prefix.Bits()
+	})
+	if !reflect.DeepEqual(want, sorted) {
+		t.Fatalf("All emitted out of sorted order:\n got %v\nwant %v", want, sorted)
+	}
+	if !reflect.DeepEqual(tr.Classes(), want) {
+		t.Fatal("Classes disagrees with All")
+	}
+	// The fully shadowed /24 must not appear; the partially shadowed /8 must.
+	seen := map[string]bool{}
+	for _, c := range want {
+		seen[c.Origins[0]] = true
+	}
+	if seen["a"] || !seen["root"] || !seen["gw"] {
+		t.Fatalf("shadowing wrong: %v", want)
+	}
+}
+
+// TestAllEarlyStop verifies the iterator honors a consumer break without
+// walking the rest of the trie.
+func TestAllEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 64; i++ {
+		tr.Insert(pfx(fmt.Sprintf("10.0.%d.0/24", i)), "r")
+	}
+	n := 0
+	for range tr.All() {
+		n++
+		if n == 3 {
+			break
+		}
+	}
+	if n != 3 {
+		t.Fatalf("early stop consumed %d classes", n)
+	}
 }

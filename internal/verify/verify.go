@@ -19,7 +19,9 @@ package verify
 import (
 	"context"
 	"fmt"
+	"iter"
 	"runtime"
+	"slices"
 	"sync"
 	"time"
 
@@ -27,6 +29,7 @@ import (
 	"bonsai/internal/dataplane"
 	"bonsai/internal/ec"
 	"bonsai/internal/policy"
+	"bonsai/internal/sched"
 	"bonsai/internal/srp"
 )
 
@@ -126,8 +129,9 @@ func AllPairsBonsai(ctx context.Context, b *build.Builder, opts Options) (*Resul
 	// BDD construction exactly as the paper's implementation does (§7:
 	// BDDs are built once, classes are compressed in parallel). On top of
 	// that, Builder.Compress deduplicates whole abstractions across classes,
-	// so workers hitting an already-compressed fingerprint skip refinement
-	// entirely.
+	// and the fan-out groups classes by fingerprint so each group's leader
+	// compresses exactly once while its followers wait off-worker until the
+	// result is cached.
 	compilers := opts.Compilers
 	if len(compilers) != opts.workers() {
 		compilers = make([]*policy.Compiler, opts.workers())
@@ -135,7 +139,7 @@ func AllPairsBonsai(ctx context.Context, b *build.Builder, opts Options) (*Resul
 			compilers[i] = b.NewCompiler(true)
 		}
 	}
-	err := ForEachClass(ctx, classes, opts.workers(), func(worker int, cls ec.Class) error {
+	err := ForEachClassKeyed(ctx, slices.Values(classes), opts.workers(), FingerprintKey(b), func(worker int, cls ec.Class) error {
 		cStart := time.Now()
 		comp := compilers[worker]
 		abs, err := b.Compress(ctx, comp, cls)
@@ -294,14 +298,20 @@ func addPairsCompress(r *Result, pairs, ok, absNodes int64, d time.Duration) {
 	r.Compress += d
 }
 
-// ForEachClass fans f out over the classes with the given worker count;
-// each invocation receives its worker index (compilers are per-worker).
-// Cancelling ctx stops dispatch, drains the workers promptly and returns
-// the context's error. It is the shared fan-out primitive of the verify
-// engines and the public bonsai Engine.
-func ForEachClass(ctx context.Context, classes []ec.Class, workers int, f func(worker int, cls ec.Class) error) error {
+// ForEachClassKeyed fans f out over a (possibly lazily enumerated) class
+// sequence. With workers <= 1 it runs serially in sequence order — the
+// batch reference shape the differential tests compare the scheduler
+// against; otherwise it hands the sequence to the sharded work-stealing
+// scheduler of internal/sched, with key (when non-nil) grouping classes by
+// deduplication fingerprint so each group's leader computes once and its
+// followers run on the warm cache. Each invocation of f receives its
+// worker index (compilers are per-worker). Cancelling ctx stops dispatch,
+// drains the workers promptly and returns the context's error. It is the
+// shared fan-out primitive of the verify engines and the public bonsai
+// Engine.
+func ForEachClassKeyed(ctx context.Context, classes iter.Seq[ec.Class], workers int, key func(ec.Class) string, f func(worker int, cls ec.Class) error) error {
 	if workers <= 1 {
-		for _, cls := range classes {
+		for cls := range classes {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
@@ -309,47 +319,28 @@ func ForEachClass(ctx context.Context, classes []ec.Class, workers int, f func(w
 				return err
 			}
 		}
-		return nil
+		return ctx.Err()
 	}
-	var wg sync.WaitGroup
-	ch := make(chan ec.Class)
-	errCh := make(chan error, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			failed := false
-			for cls := range ch {
-				if failed || ctx.Err() != nil {
-					continue // drain so the sender never blocks
-				}
-				if err := f(worker, cls); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					failed = true
-				}
-			}
-		}(w)
-	}
-dispatch:
-	for _, cls := range classes {
-		select {
-		case ch <- cls:
-		case <-ctx.Done():
-			break dispatch
+	_, err := sched.Run(ctx, classes, sched.Options{Shards: workers}, key, f)
+	return err
+}
+
+// ForEachClass is ForEachClassKeyed over a class slice without fingerprint
+// grouping.
+func ForEachClass(ctx context.Context, classes []ec.Class, workers int, f func(worker int, cls ec.Class) error) error {
+	return ForEachClassKeyed(ctx, slices.Values(classes), workers, nil, f)
+}
+
+// FingerprintKey returns the scheduler grouping key for b's classes: the
+// deduplication fingerprint, or "" (ungrouped) for classes whose
+// fingerprint cannot be computed — those fail identically inside Compress,
+// which reports the actual error.
+func FingerprintKey(b *build.Builder) func(ec.Class) string {
+	return func(cls ec.Class) string {
+		fp, err := b.ClassFingerprint(cls)
+		if err != nil {
+			return ""
 		}
-	}
-	close(ch)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
+		return fp
 	}
 }

@@ -6,9 +6,11 @@ import "runtime"
 // over the defaults.
 type options struct {
 	workers      int
+	shards       int
 	dedup        bool
 	bddCacheBits int
 	maxClasses   int
+	memBudget    int64
 }
 
 func defaultOptions() options {
@@ -49,9 +51,35 @@ func WithMaxClasses(n int) Option {
 	return func(o *options) { o.maxClasses = n }
 }
 
+// WithShards sets how many work-stealing shards (worker deques, each with
+// its own policy compiler) streaming compression fans out over. Zero or
+// negative defers to the worker count.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
+// WithMemoryBudget bounds the engine's abstraction store to approximately
+// the given number of bytes of *retained* results. Past the budget,
+// least-recently-used cached abstractions are evicted and recomputed on
+// their next query. Pinned transport seeds (one per symmetry family) are
+// charged but never evicted, so tiny budgets degrade to the seed working
+// set instead of thrashing; in-flight computations are charged when they
+// complete, so transient overshoot is bounded by one abstraction per
+// shard. Zero (the default) means unbounded retention.
+func WithMemoryBudget(bytes int64) Option {
+	return func(o *options) { o.memBudget = bytes }
+}
+
 func (o options) workerCount() int {
 	if o.workers > 0 {
 		return o.workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o options) shardCount() int {
+	if o.shards > 0 {
+		return o.shards
+	}
+	return o.workerCount()
 }

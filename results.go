@@ -17,17 +17,33 @@ type ClassSelector struct {
 	MaxClasses int `json:"max_classes,omitempty"`
 }
 
-// CacheStats is a snapshot of the engine's cross-class abstraction cache.
+// CacheStats is a snapshot of the engine's cross-class abstraction store.
 type CacheStats struct {
 	// Fresh counts abstractions computed by full refinement.
 	Fresh int `json:"fresh"`
 	// Transported counts abstractions served by symmetry transport.
 	Transported int64 `json:"transported"`
-	// Served counts compression calls answered from the identity cache.
+	// Served counts compression calls answered from the identity cache (the
+	// store's hit counter).
 	Served int64 `json:"served"`
 	// Adopted counts abstractions carried across an incremental update by
 	// partition re-validation instead of recompression.
 	Adopted int `json:"adopted"`
+	// Misses counts compression calls that had to compute: first touches
+	// and recompressions of classes the memory budget evicted.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped under the memory budget
+	// (WithMemoryBudget); LiveBytes and PeakBytes are the store's current
+	// and high-water accounted footprint, BudgetBytes the configured
+	// ceiling (0 = unbounded).
+	Evictions   int64 `json:"evictions"`
+	LiveBytes   int64 `json:"live_bytes"`
+	PeakBytes   int64 `json:"peak_bytes"`
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
+	// DuplicateFresh counts duplicated refinements for one fingerprint —
+	// zero in a healthy engine (the scheduler runs one leader per
+	// fingerprint group; tests assert it).
+	DuplicateFresh int64 `json:"duplicate_fresh,omitempty"`
 }
 
 // NetworkInfo describes the concrete network an engine is serving.

@@ -1,0 +1,246 @@
+package bonsai
+
+import (
+	"context"
+	"iter"
+	"sync"
+	"time"
+
+	"bonsai/internal/build"
+	"bonsai/internal/core"
+	"bonsai/internal/ec"
+	"bonsai/internal/verify"
+)
+
+// ClassResult is one per-class row of a streaming compression.
+type ClassResult struct {
+	// Prefix is the destination class's representative prefix.
+	Prefix string `json:"prefix"`
+	// AbstractNodes and AbstractLinks size the class's compressed topology.
+	AbstractNodes int `json:"abstract_nodes"`
+	AbstractLinks int `json:"abstract_links"`
+	// Source reports where the abstraction came from: "fresh" (full
+	// refinement), "transported" (symmetry transport), "cache" (identity
+	// hit), or "adopted" (carried across an incremental update).
+	Source string `json:"source"`
+	// Duration is this class's wall-clock share, as seen by its worker.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// StreamOption configures one CompressStream call.
+type StreamOption func(*streamOptions)
+
+type streamOptions struct {
+	progress func(done, total int)
+}
+
+// WithProgress installs a progress callback invoked after each class
+// completes, with the number of classes finished so far and the total
+// selected. Callbacks run on worker goroutines and must be fast and
+// concurrency-safe.
+func WithProgress(f func(done, total int)) StreamOption {
+	return func(o *streamOptions) { o.progress = f }
+}
+
+// Stream is an in-flight streaming compression: per-class results arrive
+// through Results as workers complete them, while the pipeline — lazy class
+// enumeration feeding the sharded, fingerprint-grouped scheduler — stays
+// bounded: an O(shards) result buffer, dispatch throttled to O(shards)
+// in-flight classes, and (under WithMemoryBudget) a capped abstraction
+// store. Results must be drained (ranged to completion, or broken out of,
+// which cancels the remaining work); Err and Report are valid afterwards.
+type Stream struct {
+	results chan ClassResult
+	done    chan struct{} // closed after workers exit and err/elapsed are set
+	cancel  context.CancelFunc
+	err     error
+
+	b        *build.Builder
+	netInfo  NetworkInfo
+	total    int
+	bddSetup time.Duration
+	start    time.Time
+	elapsed  time.Duration
+
+	mu                 sync.Mutex
+	count              int
+	sumNodes, sumLinks int
+}
+
+// CompressStream starts compressing the selected destination classes and
+// returns a Stream of per-class results, yielded as they complete. Classes
+// are enumerated lazily from the prefix trie and dispatched to a sharded
+// work-stealing scheduler that groups them by deduplication fingerprint:
+// each group's leader compresses once, its followers are parked until the
+// leader's result is cached and then served without refinement. Batch
+// entry points (Compress) are this pipeline plus a drain.
+func (e *Engine) CompressStream(ctx context.Context, sel ClassSelector, opts ...StreamOption) (*Stream, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	var so streamOptions
+	for _, opt := range opts {
+		opt(&so)
+	}
+	st := e.state.Load()
+
+	var seq iter.Seq[ec.Class]
+	var total int
+	if sel.Prefix != "" {
+		cls, err := st.b.ClassFor(sel.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		total = 1
+		seq = func(yield func(ec.Class) bool) { yield(cls) }
+	} else {
+		max := sel.MaxClasses
+		if max == 0 {
+			max = e.opts.maxClasses
+		}
+		total = st.b.NumClasses()
+		if max > 0 && total > max {
+			total = max
+		}
+		limit := total
+		seq = func(yield func(ec.Class) bool) {
+			n := 0
+			for cls := range st.b.ClassStream() {
+				if n == limit || !yield(cls) {
+					return
+				}
+				n++
+			}
+		}
+	}
+
+	shards := e.opts.shardCount()
+	if shards > total {
+		shards = total
+	}
+	if shards < 1 {
+		shards = 1
+	}
+
+	bddStart := time.Now()
+	comps := make([]*pooledCompiler, shards)
+	for i := range comps {
+		comps[i] = e.acquire(st)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	s := &Stream{
+		// A small buffer decouples workers from the consumer's per-row
+		// latency without accumulating the report: memory stays O(shards).
+		results:  make(chan ClassResult, 2*shards),
+		done:     make(chan struct{}),
+		cancel:   cancel,
+		b:        st.b,
+		netInfo:  e.networkInfo(st),
+		total:    total,
+		bddSetup: time.Since(bddStart),
+		start:    time.Now(),
+	}
+
+	var key func(ec.Class) string
+	if e.opts.dedup {
+		key = verify.FingerprintKey(st.b)
+	}
+	go func() {
+		defer cancel()
+		err := verify.ForEachClassKeyed(ctx, seq, shards, key, func(w int, cls ec.Class) error {
+			t0 := time.Now()
+			var abs *core.Abstraction
+			prov := build.ProvFresh
+			var err error
+			if e.opts.dedup {
+				abs, prov, err = st.b.CompressTagged(ctx, comps[w].comp, cls)
+			} else {
+				abs, err = st.b.CompressFresh(ctx, comps[w].comp, cls)
+			}
+			if err != nil {
+				return err
+			}
+			r := ClassResult{
+				Prefix:        cls.Prefix.String(),
+				AbstractNodes: abs.NumAbstractNodes(),
+				AbstractLinks: abs.NumAbstractEdges(),
+				Source:        prov.String(),
+				Duration:      time.Since(t0),
+			}
+			s.mu.Lock()
+			s.count++
+			done := s.count
+			s.sumNodes += r.AbstractNodes
+			s.sumLinks += r.AbstractLinks
+			s.mu.Unlock()
+			if so.progress != nil {
+				so.progress(done, s.total)
+			}
+			select {
+			case s.results <- r:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		for _, pc := range comps {
+			e.release(pc)
+		}
+		s.elapsed = time.Since(s.start)
+		s.err = err
+		close(s.done)
+		close(s.results)
+	}()
+	return s, nil
+}
+
+// Results yields per-class results in completion order. Ranging to
+// completion drains the pipeline; breaking out cancels the remaining work
+// and discards undelivered results. Results is single-use.
+func (s *Stream) Results() iter.Seq[ClassResult] {
+	return func(yield func(ClassResult) bool) {
+		for r := range s.results {
+			if !yield(r) {
+				s.cancel()
+				for range s.results { // unblock workers; discard the tail
+				}
+				return
+			}
+		}
+	}
+}
+
+// Err reports how the stream ended: nil after a complete run, the
+// context's error after cancellation (including a Results break), or the
+// first per-class failure. It blocks until the pipeline has shut down, so
+// call it after draining Results.
+func (s *Stream) Err() error {
+	<-s.done
+	return s.err
+}
+
+// Report aggregates the streamed results into the batch CompressReport.
+// Like Err it blocks until the pipeline has shut down; after an error or an
+// early break it covers the classes that completed.
+func (s *Stream) Report() *CompressReport {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rep := &CompressReport{
+		Network:           s.netInfo,
+		ClassesCompressed: s.count,
+		SumAbstractNodes:  s.sumNodes,
+		SumAbstractLinks:  s.sumLinks,
+		Cache:             cacheStats(s.b),
+		BDDSetup:          s.bddSetup,
+		Duration:          s.elapsed,
+	}
+	if s.sumNodes > 0 {
+		rep.NodeRatio = float64(s.netInfo.Routers*s.count) / float64(s.sumNodes)
+	}
+	if s.sumLinks > 0 {
+		rep.LinkRatio = float64(s.netInfo.Links*s.count) / float64(s.sumLinks)
+	}
+	return rep
+}
