@@ -1,0 +1,236 @@
+package bonsai
+
+import (
+	"context"
+	"time"
+
+	"bonsai/internal/ingest"
+)
+
+// streamOpts collects ApplyStream's tunables.
+type streamOpts struct {
+	maxPending   int
+	maxStaleness time.Duration
+	observer     func(*ApplyReport)
+}
+
+// StreamApplyOption configures one ApplyStream call.
+type StreamApplyOption func(*streamOpts)
+
+// WithMaxPending bounds staleness by count: once n deltas are batched, the
+// batch is flushed even if more input is immediately available. Zero (the
+// default) means no count bound — the batch grows as long as the channel
+// keeps producing without a gap.
+func WithMaxPending(n int) StreamApplyOption {
+	return func(o *streamOpts) { o.maxPending = n }
+}
+
+// WithMaxStaleness bounds staleness by wall clock: after the first delta of
+// a batch arrives, the stream keeps gathering for at most d before
+// flushing, trading staleness for coalescing opportunity. Zero (the
+// default) flushes as soon as the channel is momentarily empty.
+func WithMaxStaleness(d time.Duration) StreamApplyOption {
+	return func(o *streamOpts) { o.maxStaleness = d }
+}
+
+// WithBatchObserver registers fn to receive every batch's ApplyReport as it
+// lands (including empty batches, reported with zero classes touched). fn
+// runs on the stream's goroutine between batches, so it must not block.
+func WithBatchObserver(fn func(*ApplyReport)) StreamApplyOption {
+	return func(o *streamOpts) { o.observer = fn }
+}
+
+// ApplyStats is a live snapshot of stream ingestion, readable from any
+// goroutine while an ApplyStream is running (and after it returns).
+type ApplyStats struct {
+	// Pending is the current queue depth: deltas accepted into the batch
+	// being gathered but not yet applied.
+	Pending int `json:"pending"`
+	// Received and Rejected count deltas read off the channel so far.
+	Received int `json:"received"`
+	Rejected int `json:"rejected"`
+	// Batches counts flushes so far; MaxPending is the high-water queue
+	// depth.
+	Batches    int `json:"batches"`
+	MaxPending int `json:"max_pending"`
+}
+
+// ApplyStats returns the live ingestion snapshot of the engine's most
+// recent ApplyStream (zero value if none has run).
+func (e *Engine) ApplyStats() ApplyStats {
+	if s := e.streamStats.Load(); s != nil {
+		return *s
+	}
+	return ApplyStats{}
+}
+
+// ApplyStreamReport summarises one ApplyStream run.
+type ApplyStreamReport struct {
+	// Deltas counts deltas read from the channel; Rejected of those failed
+	// validation and were skipped (the stream continues).
+	Deltas   int `json:"deltas"`
+	Rejected int `json:"rejected"`
+	// Batches counts coalesced flushes; EmptyBatches of those cancelled to
+	// an empty canonical delta (e.g. a flap storm returning every link to
+	// its base state) and touched nothing.
+	Batches      int `json:"batches"`
+	EmptyBatches int `json:"empty_batches"`
+	// EditsReceived counts individual edits across all accepted deltas;
+	// EditsApplied counts edits surviving coalescing into canonical
+	// deltas; Coalesced is the difference, and CoalesceRatio is
+	// EditsReceived/EditsApplied (0 when nothing was applied).
+	EditsReceived int     `json:"edits_received"`
+	EditsApplied  int     `json:"edits_applied"`
+	Coalesced     int     `json:"coalesced"`
+	CoalesceRatio float64 `json:"coalesce_ratio,omitempty"`
+	// Adoption totals across batches, as in ApplyReport.
+	Adopted        int `json:"adopted"`
+	Invalidated    int `json:"invalidated"`
+	NewClasses     int `json:"new_classes"`
+	RemovedClasses int `json:"removed_classes"`
+	// DegradedBatches counts batches that exceeded the adoption sweep's
+	// profitable range and swapped to a cold snapshot instead.
+	DegradedBatches int `json:"degraded_batches,omitempty"`
+	// MaxPending is the high-water queue depth; the flush counters say why
+	// each batch was cut (channel drained, count bound, staleness window,
+	// channel closed).
+	MaxPending   int           `json:"max_pending"`
+	FlushDrain   int           `json:"flush_drain"`
+	FlushPending int           `json:"flush_pending"`
+	FlushStale   int           `json:"flush_stale"`
+	FlushClose   int           `json:"flush_close"`
+	Duration     time.Duration `json:"duration_ns"`
+}
+
+// ApplyStream consumes configuration deltas from a channel until it closes,
+// coalescing queued deltas into canonical batches (a flap's LinkDown +
+// LinkUp cancels before any invalidation; route-map, prefix-list and origin
+// edits are last-writer-wins per key) and applying each batch as a single
+// topology rebuild plus one adoption pass. The robustness contract:
+//
+//   - Backpressure: the channel is read only as fast as rebuilds complete —
+//     while a batch is applying, producers block (or buffer in the channel),
+//     and the queue depth is observable via ApplyStats.
+//   - Bounded staleness: WithMaxPending / WithMaxStaleness force a flush;
+//     with neither, a batch flushes as soon as the channel is momentarily
+//     empty.
+//   - Graceful degradation: an oversized burst swaps to a cold snapshot
+//     (classes recompress lazily) instead of erroring or buffering without
+//     bound; invalid deltas are counted and skipped, never fatal.
+//
+// ApplyStream serializes with Apply (and other ApplyStream calls): it holds
+// the engine's apply lock for its whole run. Queries are never blocked —
+// they serve the latest published snapshot throughout. The call returns
+// when the channel closes (flushing any pending batch first), the context
+// is cancelled, or the engine is closed mid-stream (ErrClosed; the pending
+// batch is abandoned, the last published snapshot stands). The report is
+// non-nil even on error, covering the work done up to the failure.
+func (e *Engine) ApplyStream(ctx context.Context, deltas <-chan Delta, opts ...StreamApplyOption) (*ApplyStreamReport, error) {
+	var o streamOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	rep := &ApplyStreamReport{}
+	if e.closed.Load() {
+		return rep, ErrClosed
+	}
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	start := time.Now()
+
+	var live ApplyStats
+	publish := func() {
+		snap := live
+		e.streamStats.Store(&snap)
+	}
+	publish()
+
+	var c *coalescer
+	add := func(d Delta) error {
+		if c == nil {
+			c = newCoalescer(e.state.Load().cfg)
+		}
+		return c.add(d)
+	}
+	flush := func(reason ingest.FlushReason, batched int) error {
+		if c == nil {
+			return nil
+		}
+		d, cst := c.build()
+		c = nil
+		rep.EditsReceived += cst.EditsIn
+		rep.EditsApplied += cst.EditsOut
+		rep.Coalesced += cst.Coalesced
+		if d.empty() {
+			rep.EmptyBatches++
+			if o.observer != nil {
+				o.observer(&ApplyReport{
+					Classes:       len(e.state.Load().b.Classes()),
+					CoalescedAway: cst.CoalescedAway,
+					Coalesced:     cst.Coalesced,
+				})
+			}
+			return nil
+		}
+		br, err := e.applyDelta(ctx, d)
+		if err != nil {
+			return err
+		}
+		br.CoalescedAway = cst.CoalescedAway
+		br.Coalesced = cst.Coalesced
+		rep.Adopted += br.Adopted
+		rep.Invalidated += br.Invalidated
+		rep.NewClasses += br.NewClasses
+		rep.RemovedClasses += br.RemovedClasses
+		if br.Degraded {
+			rep.DegradedBatches++
+		}
+		if o.observer != nil {
+			o.observer(br)
+		}
+		return nil
+	}
+
+	st, err := ingest.Run(ctx, deltas, ingest.Options{
+		MaxPending:   o.maxPending,
+		MaxStaleness: o.maxStaleness,
+		Stop:         e.closeCh,
+		OnPending: func(n int) {
+			live.Pending = n
+			if n == 0 {
+				live.Batches++
+			} else {
+				live.Received++
+				if n > live.MaxPending {
+					live.MaxPending = n
+				}
+			}
+			publish()
+		},
+	}, add, flush)
+
+	rep.Deltas = st.Received
+	rep.Rejected = st.Rejected
+	rep.Batches = st.Batches
+	rep.MaxPending = st.MaxPending
+	rep.FlushDrain = st.FlushDrain
+	rep.FlushPending = st.FlushPending
+	rep.FlushStale = st.FlushStale
+	rep.FlushClose = st.FlushClose
+	if rep.EditsApplied > 0 {
+		rep.CoalesceRatio = float64(rep.EditsReceived) / float64(rep.EditsApplied)
+	}
+	rep.Duration = time.Since(start)
+
+	live.Pending = 0
+	live.Received = st.Received
+	live.Rejected = st.Rejected
+	live.Batches = st.Batches
+	live.MaxPending = st.MaxPending
+	publish()
+
+	if err == ingest.ErrStopped {
+		err = ErrClosed
+	}
+	return rep, err
+}

@@ -1,0 +1,435 @@
+package bonsai_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"bonsai"
+	"bonsai/internal/netgen"
+)
+
+// feed returns a closed, pre-filled channel: ApplyStream drains it
+// deterministically (one gather loop, no timing dependence).
+func feed(deltas ...bonsai.Delta) <-chan bonsai.Delta {
+	ch := make(chan bonsai.Delta, len(deltas))
+	for _, d := range deltas {
+		ch <- d
+	}
+	close(ch)
+	return ch
+}
+
+// verifyCounts compares the engine's Verify report against a cold Open on
+// the engine's current configuration — the field-identical acceptance
+// check of the robustness contract.
+func verifyCounts(t *testing.T, eng *bonsai.Engine) {
+	t.Helper()
+	ctx := context.Background()
+	fresh, err := bonsai.Open(eng.Network())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+	if got, want := queryFingerprint(t, eng), queryFingerprint(t, fresh); got != want {
+		t.Fatal("stream engine queries diverge from cold open on final config")
+	}
+	warm, err := eng.Verify(ctx, bonsai.VerifyRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := fresh.Verify(ctx, bonsai.VerifyRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Pairs != cold.Pairs || warm.ReachablePairs != cold.ReachablePairs || warm.Classes != cold.Classes {
+		t.Fatalf("verify reports diverge: warm %v cold %v", warm, cold)
+	}
+	warmRoles, err := eng.Roles(ctx, bonsai.RolesRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRoles, err := fresh.Roles(ctx, bonsai.RolesRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *warmRoles != *coldRoles {
+		t.Fatalf("roles diverge: warm %+v cold %+v", warmRoles, coldRoles)
+	}
+}
+
+func TestApplyStreamFlapStormInvalidatesZero(t *testing.T) {
+	eng := openFattree(t, 4, netgen.PolicyShortestPath)
+	ctx := context.Background()
+	if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+		t.Fatal(err)
+	}
+	before := queryFingerprint(t, eng)
+
+	// Storm: every core-adjacent link of two pods flaps down and back up,
+	// several times, all queued before the stream starts — the batch must
+	// cancel to nothing.
+	links := []bonsai.LinkRef{
+		{A: "agg-0-0", B: "core-0"}, {A: "agg-0-1", B: "core-2"},
+		{A: "agg-1-0", B: "core-1"}, {A: "agg-1-1", B: "core-3"},
+	}
+	var storm []bonsai.Delta
+	for round := 0; round < 3; round++ {
+		for _, l := range links {
+			storm = append(storm, bonsai.Delta{LinkDown: []bonsai.LinkRef{l}})
+		}
+		for _, l := range links {
+			storm = append(storm, bonsai.Delta{LinkUp: []bonsai.LinkRef{l}})
+		}
+	}
+	rep, err := eng.ApplyStream(ctx, feed(storm...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Invalidated != 0 || rep.NewClasses != 0 || rep.Adopted != 0 {
+		t.Fatalf("flap storm must invalidate zero classes, got %+v", rep)
+	}
+	if rep.EmptyBatches != rep.Batches || rep.Batches == 0 {
+		t.Fatalf("storm batches should all cancel empty: %+v", rep)
+	}
+	if rep.EditsApplied != 0 || rep.Coalesced != len(storm) {
+		t.Fatalf("all %d edits should coalesce away: %+v", len(storm), rep)
+	}
+	if got := queryFingerprint(t, eng); got != before {
+		t.Fatal("queries changed across a state-preserving flap storm")
+	}
+}
+
+// streamDifferential streams the delta log into one engine and applies it
+// delta-by-delta to another, then checks both against a cold Open.
+func streamDifferential(t *testing.T, cfg *bonsai.Network, log []bonsai.Delta, opts ...bonsai.StreamApplyOption) {
+	t.Helper()
+	ctx := context.Background()
+	streamed, err := bonsai.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := bonsai.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streamed.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := streamed.ApplyStream(ctx, feed(log...), opts...); err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for _, d := range log {
+		if _, err := naive.Apply(ctx, d); err != nil {
+			t.Fatalf("naive apply of %+v: %v", d, err)
+		}
+		applied++
+	}
+	if applied != len(log) {
+		t.Fatalf("naive applied %d of %d deltas", applied, len(log))
+	}
+	// The coalesced final config can differ in inert fields from the naive
+	// one (a flapped link's Down bit round-trips instead of toggling), so
+	// equivalence is behavioral: queries and verify counts of each engine
+	// must match a cold open of its own config, and the two engines must
+	// agree with each other.
+	verifyCounts(t, streamed)
+	verifyCounts(t, naive)
+	if got, want := queryFingerprint(t, streamed), queryFingerprint(t, naive); got != want {
+		t.Fatal("streamed engine diverges from naive per-delta engine")
+	}
+}
+
+func TestApplyStreamDifferentialScenarios(t *testing.T) {
+	permitAll := &bonsai.RouteMap{Clauses: []bonsai.Clause{{Action: bonsai.Permit}}}
+	scenarios := []struct {
+		name string
+		cfg  *bonsai.Network
+		log  []bonsai.Delta
+	}{
+		{
+			"fattree-shortest", netgen.Fattree(4, netgen.PolicyShortestPath),
+			[]bonsai.Delta{
+				{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+				{LinkDown: []bonsai.LinkRef{{A: "agg-1-0", B: "core-0"}}},
+				{LinkUp: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+				{AddOriginated: []bonsai.OriginEdit{{Router: "edge-0-0", Prefix: "10.99.0.0/24"}}},
+			},
+		},
+		{
+			"fattree-prefer-bottom", netgen.Fattree(4, netgen.PolicyPreferBottom),
+			[]bonsai.Delta{
+				{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+				{SetRouteMaps: []bonsai.RouteMapEdit{{Router: "core-0", Name: "stream-test-rm", Map: permitAll}}},
+				{SetRouteMaps: []bonsai.RouteMapEdit{{Router: "core-0", Name: "stream-test-rm", Map: nil}}},
+				{LinkUp: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+			},
+		},
+		{
+			"mesh-origin-churn", netgen.FullMesh(8),
+			[]bonsai.Delta{
+				{AddOriginated: []bonsai.OriginEdit{{Router: "r-0001", Prefix: "10.50.0.0/24"}}},
+				{RemoveOriginated: []bonsai.OriginEdit{{Router: "r-0001", Prefix: "10.50.0.0/24"}}},
+				{AddOriginated: []bonsai.OriginEdit{{Router: "r-0002", Prefix: "10.51.0.0/24"}}},
+				{LinkDown: []bonsai.LinkRef{{A: "r-0003", B: "r-0004"}}},
+			},
+		},
+		{
+			"spineleaf-pref", netgen.SpineLeaf(netgen.SpineLeafOptions{PreferExternal: true}),
+			[]bonsai.Delta{
+				{LinkDown: []bonsai.LinkRef{{A: "spine-0", B: "leaf-0"}}},
+				{LinkDown: []bonsai.LinkRef{{A: "spine-1", B: "leaf-1"}}},
+				{LinkUp: []bonsai.LinkRef{{A: "spine-0", B: "leaf-0"}}},
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			streamDifferential(t, sc.cfg, sc.log)
+		})
+		t.Run(sc.name+"/max-pending-1", func(t *testing.T) {
+			// MaxPending=1 degenerates the stream to per-delta batches —
+			// the naive shape through the stream machinery.
+			streamDifferential(t, sc.cfg, sc.log, bonsai.WithMaxPending(1))
+		})
+	}
+}
+
+func TestApplyStreamDifferentialRandomized(t *testing.T) {
+	cfg := netgen.Fattree(4, netgen.PolicyShortestPath)
+	var flappable []bonsai.LinkRef
+	for _, l := range cfg.Links {
+		flappable = append(flappable, bonsai.LinkRef{A: l.A, B: l.B})
+	}
+	routers := cfg.RouterNames()
+	for _, seed := range []int64{1, 7, 42} {
+		rng := rand.New(rand.NewSource(seed))
+		var log []bonsai.Delta
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				log = append(log, bonsai.Delta{LinkDown: []bonsai.LinkRef{flappable[rng.Intn(len(flappable))]}})
+			case 1:
+				log = append(log, bonsai.Delta{LinkUp: []bonsai.LinkRef{flappable[rng.Intn(len(flappable))]}})
+			case 2:
+				log = append(log, bonsai.Delta{AddOriginated: []bonsai.OriginEdit{{
+					Router: routers[rng.Intn(len(routers))],
+					Prefix: "10.200.0.0/24",
+				}}})
+			default:
+				log = append(log, bonsai.Delta{RemoveOriginated: []bonsai.OriginEdit{{
+					Router: routers[rng.Intn(len(routers))],
+					Prefix: "10.200.0.0/24",
+				}}})
+			}
+		}
+		// LinkUp of an existing up link and RemoveOriginated of an absent
+		// prefix are valid no-ops for both engines, so the raw log is
+		// directly comparable.
+		t.Run("", func(t *testing.T) {
+			streamDifferential(t, cfg, log)
+		})
+	}
+}
+
+func TestApplyStreamBackpressure(t *testing.T) {
+	eng := openFattree(t, 4, netgen.PolicyShortestPath)
+	ctx := context.Background()
+	const deltas = 40
+	ch := make(chan bonsai.Delta)
+	go func() {
+		defer close(ch)
+		for i := 0; i < deltas; i++ {
+			if i%2 == 0 {
+				ch <- bonsai.Delta{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}}
+			} else {
+				ch <- bonsai.Delta{LinkUp: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}}
+			}
+		}
+	}()
+	rep, err := eng.ApplyStream(ctx, ch, bonsai.WithMaxPending(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Deltas != deltas {
+		t.Fatalf("stream consumed %d of %d deltas", rep.Deltas, deltas)
+	}
+	if rep.MaxPending > 8 {
+		t.Fatalf("queue depth %d exceeded WithMaxPending(8)", rep.MaxPending)
+	}
+	if rep.Batches < deltas/8 {
+		t.Fatalf("too few batches for the pending bound: %+v", rep)
+	}
+	if st := eng.ApplyStats(); st.Pending != 0 || st.Received == 0 {
+		t.Fatalf("final ApplyStats = %+v", st)
+	}
+}
+
+func TestApplyStreamStalenessFlush(t *testing.T) {
+	eng := openFattree(t, 4, netgen.PolicyShortestPath)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan bonsai.Delta)
+	type result struct {
+		rep *bonsai.ApplyStreamReport
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := eng.ApplyStream(ctx, ch, bonsai.WithMaxStaleness(10*time.Millisecond))
+		done <- result{rep, err}
+	}()
+	ch <- bonsai.Delta{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}}
+	// The channel stays open: only the staleness window can flush this.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("staleness window never flushed the batch")
+		default:
+		}
+		if idx := eng.Network().FindLink("agg-0-0", "core-0"); idx >= 0 && eng.Network().Links[idx].Down {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	res := <-done
+	if !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", res.err)
+	}
+	if res.rep.FlushStale == 0 {
+		t.Fatalf("report should count a stale flush: %+v", res.rep)
+	}
+}
+
+func TestApplyStreamCloseDrainsWithErrClosed(t *testing.T) {
+	eng := openFattree(t, 4, netgen.PolicyShortestPath)
+	ctx := context.Background()
+	if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+		t.Fatal(err)
+	}
+	ch := make(chan bonsai.Delta)
+	type result struct {
+		rep *bonsai.ApplyStreamReport
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := eng.ApplyStream(ctx, ch, bonsai.WithMaxStaleness(time.Minute))
+		done <- result{rep, err}
+	}()
+	ch <- bonsai.Delta{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if !errors.Is(res.err, bonsai.ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", res.err)
+		}
+		if res.rep == nil || res.rep.Deltas != 1 || res.rep.Batches != 0 {
+			t.Fatalf("report = %+v, want 1 delta received, pending batch abandoned", res.rep)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ApplyStream did not drain after Close")
+	}
+}
+
+func TestApplyStreamRejectsInvalidDeltasAndContinues(t *testing.T) {
+	eng := openFattree(t, 4, netgen.PolicyShortestPath)
+	ctx := context.Background()
+	log := []bonsai.Delta{
+		{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+		{LinkDown: []bonsai.LinkRef{{A: "no-such", B: "router"}}},
+		{AddOriginated: []bonsai.OriginEdit{{Router: "edge-0-0", Prefix: "bogus"}}},
+		{AddOriginated: []bonsai.OriginEdit{{Router: "edge-0-0", Prefix: "10.77.0.0/24"}}},
+	}
+	rep, err := eng.ApplyStream(ctx, feed(log...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rejected != 2 || rep.Deltas != 4 {
+		t.Fatalf("report = %+v, want 2 of 4 rejected", rep)
+	}
+	verifyCounts(t, eng)
+	idx := eng.Network().FindLink("agg-0-0", "core-0")
+	if idx < 0 || !eng.Network().Links[idx].Down {
+		t.Fatal("valid edits around the rejected deltas were not applied")
+	}
+}
+
+func TestApplyStreamOversizedBurstDegrades(t *testing.T) {
+	cfg := netgen.Fattree(4, netgen.PolicyShortestPath)
+	eng, err := bonsai.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+		t.Fatal(err)
+	}
+	// Take down over a quarter of the links in one burst.
+	var log []bonsai.Delta
+	for i, l := range cfg.Links {
+		if i%3 != 0 {
+			continue
+		}
+		log = append(log, bonsai.Delta{LinkDown: []bonsai.LinkRef{{A: l.A, B: l.B}}})
+	}
+	rep, err := eng.ApplyStream(ctx, feed(log...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DegradedBatches == 0 {
+		t.Fatalf("oversized burst should degrade to a cold swap: %+v", rep)
+	}
+	verifyCounts(t, eng)
+}
+
+func TestApplyStreamConcurrentQueries(t *testing.T) {
+	// Queries racing the stream must always see a consistent snapshot
+	// (meaningful under -race).
+	eng := openFattree(t, 4, netgen.PolicyShortestPath)
+	ctx := context.Background()
+	if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+		t.Fatal(err)
+	}
+	dest := eng.Classes()[0]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.Reach(ctx, "edge-0-0", dest); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	var log []bonsai.Delta
+	for i := 0; i < 10; i++ {
+		log = append(log,
+			bonsai.Delta{LinkDown: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+			bonsai.Delta{LinkUp: []bonsai.LinkRef{{A: "agg-0-0", B: "core-0"}}},
+		)
+	}
+	if _, err := eng.ApplyStream(ctx, feed(log...), bonsai.WithMaxPending(3)); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	verifyCounts(t, eng)
+}

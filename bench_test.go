@@ -361,3 +361,15 @@ func BenchmarkCompilePolicies(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkChurnStorm measures sustained delta ingestion under a rolling
+// link-flap storm on a warm engine: the coalescing ApplyStream versus naive
+// per-delta Apply calls (one rebuild and adoption sweep per delta). The
+// deltasPerSec ratio between the two is the streaming pipeline's win on
+// flappy input; p99QueryNs tracks concurrent query latency during the storm.
+// cmd/bonsai-bench runs the same cases at full (2000-node) scale.
+func BenchmarkChurnStorm(b *testing.B) {
+	gen := func() *config.Network { return netgen.Fattree(8, netgen.PolicyShortestPath) }
+	b.Run("nodes=80/stream", benchrun.ChurnStorm(gen, 16, 64, true))
+	b.Run("nodes=80/naive", benchrun.ChurnStorm(gen, 16, 64, false))
+}

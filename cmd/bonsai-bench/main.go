@@ -217,6 +217,16 @@ func warnRegressions(path string, rep report) {
 			fmt.Fprintf(os.Stderr, "WARNING: %s: %s %.0f vs baseline %.0f (%.1fx > %.1fx)\n",
 				c.Name, unit, got, want, got/want, regressionFactor)
 		}
+		// Throughput metrics are higher-is-better, so the regression test
+		// inverts: warn when the run sustains less than 1/3 of the baseline
+		// rate (the churn cases' deltasPerSec).
+		if bv, ok := bc.Metrics["deltasPerSec"]; ok && bv > 0 {
+			if gv := c.Metrics["deltasPerSec"]; gv > 0 && gv < bv/regressionFactor {
+				warned++
+				fmt.Fprintf(os.Stderr, "WARNING: %s: deltasPerSec %.0f vs baseline %.0f (%.1fx slower > %.1fx)\n",
+					c.Name, gv, bv, bv/gv, regressionFactor)
+			}
+		}
 		// Memory regressions, warn-only like the time diff: allocations per
 		// op and the sampled peak heap.
 		if bc.AllocsPerOp > 0 && c.AllocsPerOp > int64(memRegressionFactor*float64(bc.AllocsPerOp)) {

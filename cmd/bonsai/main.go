@@ -12,6 +12,7 @@
 //	bonsai verify -f net.txt -src edge-1-1 -dest 10.0.0.0/24 -bonsai
 //	bonsai verify -f net.txt -all-pairs -json
 //	bonsai roles -f net.txt
+//	bonsai replay -f net.txt -log deltas.jsonl -pending 32 -v
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "roles":
 		err = cmdRoles(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	default:
 		usage()
 	}
@@ -52,13 +55,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles> [flags]
+	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles|replay> [flags]
   gen       -topo fattree|ring|mesh|dc|wan|spineleaf [-k N] [-n N] [-policy shortest|prefer-bottom]
             [-spines N] [-leaves N] [-ext N]
   compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N] [-rows] [-budget-mb N] [-json]
   simulate  -f FILE -dest PREFIX [-json]
   verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair] [-json]
-  roles     -f FILE [-no-erase] [-no-statics] [-json]`)
+  roles     -f FILE [-no-erase] [-no-statics] [-json]
+  replay    -f FILE -log DELTAS.jsonl [-pending N] [-staleness DUR] [-cold] [-v] [-json]`)
 	os.Exit(2)
 }
 

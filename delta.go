@@ -64,7 +64,7 @@ type LinkRef struct {
 type RouteMapEdit struct {
 	Router string    `json:"router"`
 	Name   string    `json:"name"`
-	Map    *RouteMap `json:"-"`
+	Map    *RouteMap `json:"map,omitempty"`
 }
 
 // PrefixListEdit replaces (or, with a nil List, deletes) the named prefix
@@ -72,7 +72,7 @@ type RouteMapEdit struct {
 type PrefixListEdit struct {
 	Router string      `json:"router"`
 	Name   string      `json:"name"`
-	List   *PrefixList `json:"-"`
+	List   *PrefixList `json:"list,omitempty"`
 }
 
 // OriginEdit adds or removes an originated prefix on a router.
@@ -136,20 +136,20 @@ func (d *Delta) touchedRouters() []string {
 	return out
 }
 
-// apply mutates cfg (a private clone) in place. Policy namespaces are
-// copy-on-write: a router's Env is replaced before its first edit so clones
-// sharing the original are unaffected.
-func (d *Delta) apply(cfg *config.Network) error {
+// Validate checks every edit of the delta against cfg without mutating
+// anything: link references must name existing links (LinkDown) or known
+// routers (LinkUp of a new link), policy and origin edits must name known
+// routers, and origin prefixes must parse. Engine.Apply and the stream
+// coalescer validate before any clone or compile work, so a bad edit fails
+// fast and a delta is applied either completely or not at all.
+func (d *Delta) Validate(cfg *config.Network) error {
 	for _, l := range d.LinkDown {
-		i := cfg.FindLink(l.A, l.B)
-		if i < 0 {
+		if cfg.FindLink(l.A, l.B) < 0 {
 			return fmt.Errorf("bonsai: delta: no link %s -- %s", l.A, l.B)
 		}
-		cfg.Links[i].Down = true
 	}
 	for _, l := range d.LinkUp {
-		if i := cfg.FindLink(l.A, l.B); i >= 0 {
-			cfg.Links[i].Down = false
+		if cfg.FindLink(l.A, l.B) >= 0 {
 			continue
 		}
 		for _, r := range []string{l.A, l.B} {
@@ -157,25 +157,66 @@ func (d *Delta) apply(cfg *config.Network) error {
 				return fmt.Errorf("bonsai: delta: link references unknown router %q", r)
 			}
 		}
+	}
+	checkRouter := func(name string) error {
+		if _, ok := cfg.Routers[name]; !ok {
+			return fmt.Errorf("bonsai: delta: unknown router %q", name)
+		}
+		return nil
+	}
+	for _, e := range d.SetRouteMaps {
+		if err := checkRouter(e.Router); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.SetPrefixLists {
+		if err := checkRouter(e.Router); err != nil {
+			return err
+		}
+	}
+	for _, es := range [][]OriginEdit{d.AddOriginated, d.RemoveOriginated} {
+		for _, e := range es {
+			if err := checkRouter(e.Router); err != nil {
+				return err
+			}
+			if _, err := netip.ParsePrefix(e.Prefix); err != nil {
+				return fmt.Errorf("bonsai: delta: bad prefix %q: %w", e.Prefix, err)
+			}
+		}
+	}
+	return nil
+}
+
+// apply mutates cfg (a private clone) in place. Policy namespaces are
+// copy-on-write: a router's Env is replaced before its first edit so clones
+// sharing the original are unaffected. The delta must have passed Validate
+// against the same configuration; apply re-runs it so direct callers keep
+// all-or-nothing semantics.
+func (d *Delta) apply(cfg *config.Network) error {
+	if err := d.Validate(cfg); err != nil {
+		return err
+	}
+	for _, l := range d.LinkDown {
+		cfg.Links[cfg.FindLink(l.A, l.B)].Down = true
+	}
+	for _, l := range d.LinkUp {
+		if i := cfg.FindLink(l.A, l.B); i >= 0 {
+			cfg.Links[i].Down = false
+			continue
+		}
 		cfg.Links = append(cfg.Links, config.Link{A: l.A, B: l.B})
 	}
 	cloned := make(map[string]bool)
-	envFor := func(name string) (*config.Router, error) {
-		r, ok := cfg.Routers[name]
-		if !ok {
-			return nil, fmt.Errorf("bonsai: delta: unknown router %q", name)
-		}
+	envFor := func(name string) *config.Router {
+		r := cfg.Routers[name]
 		if !cloned[name] {
 			r.CloneEnv()
 			cloned[name] = true
 		}
-		return r, nil
+		return r
 	}
 	for _, e := range d.SetRouteMaps {
-		r, err := envFor(e.Router)
-		if err != nil {
-			return err
-		}
+		r := envFor(e.Router)
 		if e.Map == nil {
 			delete(r.Env.RouteMaps, e.Name)
 		} else {
@@ -185,10 +226,7 @@ func (d *Delta) apply(cfg *config.Network) error {
 		}
 	}
 	for _, e := range d.SetPrefixLists {
-		r, err := envFor(e.Router)
-		if err != nil {
-			return err
-		}
+		r := envFor(e.Router)
 		if e.List == nil {
 			delete(r.Env.PrefixLists, e.Name)
 		} else {
@@ -198,10 +236,7 @@ func (d *Delta) apply(cfg *config.Network) error {
 		}
 	}
 	for _, e := range d.AddOriginated {
-		r, ok := cfg.Routers[e.Router]
-		if !ok {
-			return fmt.Errorf("bonsai: delta: unknown router %q", e.Router)
-		}
+		r := cfg.Routers[e.Router]
 		p, err := netip.ParsePrefix(e.Prefix)
 		if err != nil {
 			return fmt.Errorf("bonsai: delta: bad prefix %q: %w", e.Prefix, err)
@@ -219,10 +254,7 @@ func (d *Delta) apply(cfg *config.Network) error {
 		}
 	}
 	for _, e := range d.RemoveOriginated {
-		r, ok := cfg.Routers[e.Router]
-		if !ok {
-			return fmt.Errorf("bonsai: delta: unknown router %q", e.Router)
-		}
+		r := cfg.Routers[e.Router]
 		p, err := netip.ParsePrefix(e.Prefix)
 		if err != nil {
 			return fmt.Errorf("bonsai: delta: bad prefix %q: %w", e.Prefix, err)

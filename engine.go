@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bonsai/internal/build"
 	"bonsai/internal/config"
+	"bonsai/internal/faultinject"
 	"bonsai/internal/policy"
 	"bonsai/internal/srp"
 	"bonsai/internal/verify"
@@ -38,6 +40,12 @@ type Engine struct {
 	pool chan *pooledCompiler
 	// closed is set by Close; operations observe it and return ErrClosed.
 	closed atomic.Bool
+	// closeCh is closed by Close so blocking operations (ApplyStream's
+	// ingestion pump) observe shutdown without polling.
+	closeCh chan struct{}
+	// streamStats is the live ApplyStats snapshot of the most recent
+	// ApplyStream (nil before the first stream).
+	streamStats atomic.Pointer[ApplyStats]
 }
 
 // engineState is one immutable network snapshot.
@@ -71,7 +79,7 @@ func Open(net *Network, opts ...Option) (*Engine, error) {
 	if o.memBudget > 0 {
 		b.SetAbstractionBudget(o.memBudget)
 	}
-	e := &Engine{opts: o}
+	e := &Engine{opts: o, closeCh: make(chan struct{})}
 	poolCap := o.workerCount() + 2
 	if s := o.shardCount(); s > o.workerCount() {
 		poolCap = s + 2
@@ -92,6 +100,7 @@ func (e *Engine) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(e.closeCh)
 	e.drainPool()
 	return nil
 }
@@ -408,8 +417,42 @@ func (e *Engine) Apply(ctx context.Context, d Delta) (*ApplyReport, error) {
 	}
 	e.applyMu.Lock()
 	defer e.applyMu.Unlock()
+	return e.applyDelta(ctx, d)
+}
+
+// oversizedDelta reports whether the delta's blast radius makes the
+// per-class adoption sweep a bad bet: when a burst flaps a quarter of the
+// links or edits a quarter of the routers, almost every class fails its
+// stability checks anyway, so the sweep's O(classes × degree) cost buys
+// nothing. The engine then degrades gracefully — cold successor snapshot,
+// every class recompresses lazily on its next query — instead of erroring
+// or grinding through a doomed sweep.
+func oversizedDelta(cfg *config.Network, d *Delta) bool {
+	links := len(d.LinkDown) + len(d.LinkUp)
+	routers := len(d.touchedRouters())
+	return links*4 > len(cfg.Links) || routers*4 > len(cfg.Routers)
+}
+
+// applyDelta is the shared core of Apply and ApplyStream: validate, clone,
+// rebuild, adopt (or degrade), swap. The caller holds applyMu. Any panic in
+// the rebuild or adoption machinery is contained here: the snapshot is not
+// swapped, the old state keeps serving queries, and the panic surfaces as
+// an error with the stack attached.
+func (e *Engine) applyDelta(ctx context.Context, d Delta) (rep *ApplyReport, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = nil
+			err = fmt.Errorf("bonsai: apply panicked (snapshot unchanged): %v\n%s", r, debug.Stack())
+		}
+	}()
 	start := time.Now()
 	st := e.state.Load()
+	// Validate against the live config before paying for the clone; apply
+	// re-validates against the clone, keeping all-or-nothing semantics even
+	// for direct callers.
+	if err := d.Validate(st.cfg); err != nil {
+		return nil, err
+	}
 	cfg2 := st.cfg.Clone()
 	if err := d.apply(cfg2); err != nil {
 		return nil, err
@@ -426,14 +469,33 @@ func (e *Engine) Apply(ctx context.Context, d Delta) (*ApplyReport, error) {
 	b2.AdoptCompilerCaches(st.b)
 	st2 := &engineState{cfg: cfg2, b: b2, universe: universeKey(cfg2)}
 
-	pc := e.acquire(st2)
-	defer e.release(pc)
-
-	stats, err := b2.AdoptFrom(ctx, pc.comp, st.b, build.AdoptDelta{
-		TouchedRouters: d.touchedRouters(),
-	})
-	if err != nil {
-		return nil, err // state not swapped; the old snapshot stays live
+	var stats build.AdoptStats
+	degraded := oversizedDelta(st.cfg, &d)
+	if degraded {
+		// Cold successor: no adoption sweep, every class recompresses
+		// lazily. Count the class-set diff so the report stays truthful.
+		newSet := make(map[string]bool, len(b2.Classes()))
+		for _, cls := range b2.Classes() {
+			newSet[cls.Prefix.String()] = true
+		}
+		stats.NewClasses = len(b2.Classes())
+		for _, cls := range st.b.Classes() {
+			if !newSet[cls.Prefix.String()] {
+				stats.Removed++
+			}
+		}
+	} else {
+		pc := e.acquire(st2)
+		defer e.release(pc)
+		stats, err = b2.AdoptFrom(ctx, pc.comp, st.b, build.AdoptDelta{
+			TouchedRouters: d.touchedRouters(),
+		})
+		if err != nil {
+			return nil, err // state not swapped; the old snapshot stays live
+		}
+	}
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.ApplySwap, "")
 	}
 	e.state.Store(st2)
 	return &ApplyReport{
@@ -445,6 +507,7 @@ func (e *Engine) Apply(ctx context.Context, d Delta) (*ApplyReport, error) {
 		InvalidatedPrefixes: stats.InvalidatedPrefixes,
 		NewClasses:          stats.NewClasses,
 		RemovedClasses:      stats.Removed,
+		Degraded:            degraded,
 		Duration:            time.Since(start),
 	}, nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"sync"
 	"testing"
 	"time"
 
@@ -299,6 +300,121 @@ func WarmEngineQueries(gen func() *config.Network, linkA, linkB string, nq int) 
 	}
 }
 
+// ChurnStorm benchmarks sustained delta ingestion on a warm engine under a
+// rolling link-flap storm: nLinks distinct links each flap (down, then back
+// up) round-robin until deltas updates have been issued, so every storm ends
+// with the topology restored. With stream=true the storm is fed through
+// ApplyStream, whose coalescer cancels each flap before any invalidation;
+// with stream=false every delta goes through a naive per-delta Apply — one
+// topology rebuild plus one adoption sweep per delta, the baseline the
+// >= 10x deltasPerSec acceptance bar is measured against. A concurrent
+// sampler issues compressed reachability queries throughout and reports
+// their p99 latency: the robustness claim is that query service stays
+// responsive while the control plane churns.
+func ChurnStorm(gen func() *config.Network, nLinks, deltas int, stream bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		cfg := gen()
+		eng, err := bonsai.Open(cfg, bonsai.WithWorkers(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		if _, err := eng.Compress(ctx, bonsai.ClassSelector{}); err != nil {
+			b.Fatal(err)
+		}
+		links := make([]bonsai.LinkRef, 0, nLinks)
+		for _, l := range cfg.Links {
+			if !l.Down {
+				links = append(links, bonsai.LinkRef{A: l.A, B: l.B})
+			}
+			if len(links) == nLinks {
+				break
+			}
+		}
+		if len(links) == 0 {
+			b.Fatal("no links to flap")
+		}
+		// Down/up pairs, so a whole storm coalesces to the empty delta.
+		storm := make([]bonsai.Delta, 0, deltas)
+		for i := 0; len(storm)+1 < deltas; i++ {
+			l := []bonsai.LinkRef{links[i%len(links)]}
+			storm = append(storm, bonsai.Delta{LinkDown: l}, bonsai.Delta{LinkUp: l})
+		}
+
+		// Query sampler: compressed reachability in a loop, racing the storm.
+		dests := eng.Classes()
+		srcs := cfg.RouterNames()
+		var latMu sync.Mutex
+		var lat []time.Duration
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := eng.Reach(ctx, srcs[(j*13)%len(srcs)], dests[(j*7)%len(dests)]); err != nil {
+					b.Error(err)
+					return
+				}
+				d := time.Since(t0)
+				latMu.Lock()
+				lat = append(lat, d)
+				latMu.Unlock()
+				// Yield so the sampler shares the machine with the applier
+				// instead of measuring contention with itself.
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+
+		var received, coalesced float64
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if stream {
+				ch := make(chan bonsai.Delta, len(storm))
+				for _, d := range storm {
+					ch <- d
+				}
+				close(ch)
+				rep, err := eng.ApplyStream(ctx, ch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				received += float64(rep.EditsReceived)
+				coalesced += float64(rep.Coalesced)
+			} else {
+				for _, d := range storm {
+					if _, err := eng.Apply(ctx, d); err != nil {
+						b.Fatal(err)
+					}
+				}
+				received += float64(len(storm))
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		b.ReportMetric(float64(b.N*len(storm))/b.Elapsed().Seconds(), "deltasPerSec")
+		if received > 0 {
+			b.ReportMetric(coalesced/received, "coalescedFrac")
+		}
+		latMu.Lock()
+		defer latMu.Unlock()
+		if len(lat) > 0 {
+			slices.Sort(lat)
+			b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99QueryNs")
+			b.ReportMetric(float64(len(lat)), "queries")
+		}
+	}
+}
+
 // Cases returns the benchmark suite. Smoke mode shrinks networks and class
 // samples so the whole suite finishes in well under a minute for CI.
 func Cases(smoke bool) []Case {
@@ -446,6 +562,19 @@ func Cases(smoke bool) []Case {
 	add(fmt.Sprintf("incremental/fattree/nodes=%d/apply-warm", applyNodes), ApplyWarm(genApply, aggName, "core-0"))
 	add(fmt.Sprintf("incremental/fattree/nodes=%d/cold-open", applyNodes), ColdOpen(genApply))
 	add(fmt.Sprintf("warm-engine/fattree/nodes=%d/queries=%d", applyNodes, 2*nq), WarmEngineQueries(genApply, aggName, "core-0", nq))
+
+	// Churn: a rolling link-flap storm against a warm engine, streamed with
+	// coalescing versus naive per-delta applies. The acceptance bar is the
+	// stream beating naive by >= 10x deltasPerSec on the 2000-node fat tree
+	// while the p99 of concurrent compressed queries stays serviceable.
+	churnK, churnLinks, churnDeltas := 40, 100, 200
+	if smoke {
+		churnK, churnLinks, churnDeltas = 8, 16, 64
+	}
+	genChurn := func() *config.Network { return netgen.Fattree(churnK, netgen.PolicyShortestPath) }
+	churnNodes := 5 * churnK * churnK / 4
+	add(fmt.Sprintf("churn/fattree/nodes=%d/stream", churnNodes), ChurnStorm(genChurn, churnLinks, churnDeltas, true))
+	add(fmt.Sprintf("churn/fattree/nodes=%d/naive", churnNodes), ChurnStorm(genChurn, churnLinks, churnDeltas, false))
 
 	add("bdd/adder64", BDDAdder(64))
 	return cs

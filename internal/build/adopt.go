@@ -50,6 +50,7 @@ import (
 	"bonsai/internal/config"
 	"bonsai/internal/core"
 	"bonsai/internal/ec"
+	"bonsai/internal/faultinject"
 	"bonsai/internal/policy"
 	"bonsai/internal/topo"
 )
@@ -176,7 +177,7 @@ func (b *Builder) AdoptFrom(ctx context.Context, comp *policy.Compiler, old *Bui
 			st.NewClasses++
 			continue
 		}
-		switch ad.adoptClass(comp, cls, entry) {
+		switch ad.adoptClassSafe(comp, cls, entry) {
 		case adoptUnchanged:
 			st.Adopted++
 			st.Unchanged++
@@ -190,6 +191,23 @@ func (b *Builder) AdoptFrom(ctx context.Context, comp *policy.Compiler, old *Bui
 	}
 	st.Removed = len(oldByPrefix)
 	return st, nil
+}
+
+// adoptClassSafe wraps adoptClass with the adopt.class injection seam and
+// panic containment. Invalidating on panic is sound: an unadopted class is
+// merely cold and recompresses from scratch on its next query, so a
+// poisoned adoption check costs recomputation, never correctness or the
+// process.
+func (ad *adoption) adoptClassSafe(comp *policy.Compiler, cls ec.Class, entry *absEntry) (out adoptOutcome) {
+	defer func() {
+		if recover() != nil {
+			out = adoptFailed
+		}
+	}()
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.AdoptClass, cls.Prefix.String())
+	}
+	return ad.adoptClass(comp, cls, entry)
 }
 
 type adoptOutcome int
@@ -657,6 +675,11 @@ func (b *Builder) AdoptCompilerCaches(old *Builder) {
 // adoption recompresses on its next query.
 func (ad *adoption) install(cls ec.Class, sig *classSig, abs *core.Abstraction, live []bool, prefs []int, out adoptOutcome) adoptOutcome {
 	b := ad.b
+	if faultinject.Active() {
+		// The store.install seam lets tests shrink the budget (forcing
+		// evictions) or panic mid-install while an apply is writing entries.
+		faultinject.Fire(faultinject.StoreInstall, cls.Prefix.String())
+	}
 	e := &absEntry{ready: make(chan struct{}), sig: sig, fp: sig.fp, abs: abs, live: live, prefs: prefs, done: true, src: ProvAdopted}
 	close(e.ready)
 	st := &b.store

@@ -1,0 +1,217 @@
+// Package ingest pumps a stream of updates into batched flushes with an
+// explicit robustness contract: backpressure (the source channel is read
+// only between flushes, so producers block while a flush is in progress),
+// bounded staleness (a pending-count cap or a wall-clock window forces a
+// flush), and single-goroutine operation (add and flush callbacks never run
+// concurrently). The package is generic over the update type; the engine
+// instantiates it with Delta and a coalescing add callback.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrStopped is returned by Run when the Stop channel fires before the
+// source is exhausted. Callers typically map it to their own shutdown
+// error.
+var ErrStopped = errors.New("ingest: stopped")
+
+// FlushReason says why a batch was flushed.
+type FlushReason int
+
+const (
+	// FlushDrain: the source had no more updates immediately available.
+	FlushDrain FlushReason = iota
+	// FlushPending: MaxPending updates accumulated.
+	FlushPending
+	// FlushStale: the MaxStaleness window expired with updates pending.
+	FlushStale
+	// FlushClose: the source channel closed with updates pending.
+	FlushClose
+)
+
+// String names the reason for logs and reports.
+func (r FlushReason) String() string {
+	switch r {
+	case FlushDrain:
+		return "drain"
+	case FlushPending:
+		return "pending"
+	case FlushStale:
+		return "stale"
+	case FlushClose:
+		return "close"
+	}
+	return "unknown"
+}
+
+// Options tunes one Run.
+type Options struct {
+	// MaxPending forces a flush once this many updates are batched.
+	// Zero or negative means no count bound.
+	MaxPending int
+	// MaxStaleness opens a gathering window: after the first update of a
+	// batch arrives, Run keeps reading for up to this long before
+	// flushing, trading staleness for coalescing opportunity. Zero means
+	// flush as soon as the source is momentarily empty.
+	MaxStaleness time.Duration
+	// Stop aborts the run (returning ErrStopped) without flushing; used
+	// for owner shutdown where the flush target no longer exists.
+	Stop <-chan struct{}
+	// OnPending, when set, observes the batched-update count after every
+	// accepted update and every flush (with 0). It runs on the pump
+	// goroutine, so it must be cheap and non-blocking.
+	OnPending func(n int)
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	// Received counts updates read from the source; Rejected counts those
+	// the add callback refused.
+	Received int
+	Rejected int
+	// Batches counts flushes, split by reason below.
+	Batches      int
+	FlushDrain   int
+	FlushPending int
+	FlushStale   int
+	FlushClose   int
+	// MaxPending is the largest batch observed (accepted updates between
+	// two flushes) — the high-water queue depth.
+	MaxPending int
+}
+
+// Run reads updates from src until the channel closes, the context is
+// cancelled, or Stop fires. Each update is offered to add (an error counts
+// it rejected and otherwise ignores it); accepted updates accumulate until
+// a flush condition holds, then flush runs with the reason and the batch
+// size. A flush error aborts the run. On a clean close, any pending batch
+// is flushed with FlushClose before returning. Context cancellation and
+// Stop abandon the pending batch: the flush target is assumed to be
+// shutting down with the caller.
+func Run[D any](ctx context.Context, src <-chan D, opts Options, add func(D) error, flush func(reason FlushReason, batched int) error) (Stats, error) {
+	var st Stats
+	pending := 0
+	observe := func() {
+		if opts.OnPending != nil {
+			opts.OnPending(pending)
+		}
+	}
+	tryAdd := func(d D) {
+		st.Received++
+		if err := add(d); err != nil {
+			st.Rejected++
+			return
+		}
+		pending++
+		if pending > st.MaxPending {
+			st.MaxPending = pending
+		}
+		observe()
+	}
+	doFlush := func(r FlushReason) error {
+		st.Batches++
+		switch r {
+		case FlushDrain:
+			st.FlushDrain++
+		case FlushPending:
+			st.FlushPending++
+		case FlushStale:
+			st.FlushStale++
+		case FlushClose:
+			st.FlushClose++
+		}
+		n := pending
+		pending = 0
+		err := flush(r, n)
+		observe()
+		return err
+	}
+
+	for {
+		// Wait for the first update of the next batch.
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-opts.Stop:
+			return st, ErrStopped
+		case d, ok := <-src:
+			if !ok {
+				return st, nil
+			}
+			tryAdd(d)
+		}
+		if pending == 0 {
+			continue // sole update was rejected; nothing to gather for
+		}
+
+		var timer *time.Timer
+		var window <-chan time.Time
+		if opts.MaxStaleness > 0 {
+			timer = time.NewTimer(opts.MaxStaleness)
+			window = timer.C
+		}
+		stopTimer := func() {
+			if timer != nil {
+				timer.Stop()
+				timer = nil
+			}
+		}
+
+	gather:
+		for {
+			if opts.MaxPending > 0 && pending >= opts.MaxPending {
+				stopTimer()
+				if err := doFlush(FlushPending); err != nil {
+					return st, err
+				}
+				break gather
+			}
+			if window == nil {
+				// No staleness window: keep reading only while updates
+				// are immediately available, then flush.
+				select {
+				case d, ok := <-src:
+					if !ok {
+						if err := doFlush(FlushClose); err != nil {
+							return st, err
+						}
+						return st, nil
+					}
+					tryAdd(d)
+					continue
+				default:
+				}
+				if err := doFlush(FlushDrain); err != nil {
+					return st, err
+				}
+				break gather
+			}
+			select {
+			case <-ctx.Done():
+				stopTimer()
+				return st, ctx.Err()
+			case <-opts.Stop:
+				stopTimer()
+				return st, ErrStopped
+			case <-window:
+				timer = nil
+				if err := doFlush(FlushStale); err != nil {
+					return st, err
+				}
+				break gather
+			case d, ok := <-src:
+				if !ok {
+					stopTimer()
+					if err := doFlush(FlushClose); err != nil {
+						return st, err
+					}
+					return st, nil
+				}
+				tryAdd(d)
+			}
+		}
+	}
+}

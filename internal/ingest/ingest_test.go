@@ -1,0 +1,247 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+type flushRec struct {
+	reason  FlushReason
+	batched int
+}
+
+func collect(t *testing.T, src <-chan int, opts Options) (Stats, []flushRec, error) {
+	t.Helper()
+	var flushes []flushRec
+	st, err := Run(context.Background(), src, opts,
+		func(int) error { return nil },
+		func(r FlushReason, n int) error {
+			flushes = append(flushes, flushRec{r, n})
+			return nil
+		})
+	return st, flushes, err
+}
+
+func TestRunDrainsAndFlushesOnClose(t *testing.T) {
+	src := make(chan int, 8)
+	for i := 0; i < 5; i++ {
+		src <- i
+	}
+	close(src)
+	st, flushes, err := collect(t, src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received != 5 || st.Rejected != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	total := 0
+	for _, f := range flushes {
+		total += f.batched
+	}
+	if total != 5 {
+		t.Fatalf("flushed %d updates, want 5 (%v)", total, flushes)
+	}
+	// All five are buffered, so the drain loop batches them into one
+	// close-flush.
+	if len(flushes) != 1 || flushes[0].reason != FlushClose {
+		t.Fatalf("flushes = %v, want single close flush", flushes)
+	}
+}
+
+func TestRunMaxPendingForcesFlush(t *testing.T) {
+	src := make(chan int, 32)
+	for i := 0; i < 10; i++ {
+		src <- i
+	}
+	close(src)
+	st, flushes, err := collect(t, src, Options{MaxPending: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxPending > 3 {
+		t.Fatalf("queue depth %d exceeded MaxPending", st.MaxPending)
+	}
+	if st.FlushPending != 3 || st.FlushClose != 1 {
+		t.Fatalf("stats = %+v, want 3 pending flushes (3+3+3) and 1 close flush (1)", st)
+	}
+	want := []flushRec{{FlushPending, 3}, {FlushPending, 3}, {FlushPending, 3}, {FlushClose, 1}}
+	for i, f := range flushes {
+		if f != want[i] {
+			t.Fatalf("flushes = %v, want %v", flushes, want)
+		}
+	}
+}
+
+func TestRunStalenessWindowGathers(t *testing.T) {
+	src := make(chan int)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			src <- i
+			time.Sleep(2 * time.Millisecond)
+		}
+		close(src)
+	}()
+	st, flushes, err := collect(t, src, Options{MaxStaleness: 250 * time.Millisecond})
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a generous window and a fast producer, everything lands in one
+	// batch (flushed at close, since the producer finishes first).
+	if st.Batches != 1 || len(flushes) != 1 || flushes[0].batched != 4 {
+		t.Fatalf("stats %+v flushes %v, want one batch of 4", st, flushes)
+	}
+}
+
+func TestRunStalenessExpiryFlushes(t *testing.T) {
+	src := make(chan int)
+	go func() { src <- 1 }() // one update, then the channel stays open
+	var flushed = make(chan flushRec, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		Run(ctx, src, Options{MaxStaleness: 5 * time.Millisecond},
+			func(int) error { return nil },
+			func(r FlushReason, n int) error {
+				flushed <- flushRec{r, n}
+				return nil
+			})
+	}()
+	select {
+	case f := <-flushed:
+		if f.reason != FlushStale || f.batched != 1 {
+			t.Fatalf("flush = %+v, want stale flush of 1", f)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("staleness window never flushed")
+	}
+}
+
+func TestRunStopAbandonsPending(t *testing.T) {
+	src := make(chan int)
+	stop := make(chan struct{})
+	go func() {
+		src <- 1
+		close(stop)
+	}()
+	st, err := Run(context.Background(), src, Options{MaxStaleness: time.Minute, Stop: stop},
+		func(int) error { return nil },
+		func(FlushReason, int) error {
+			t.Error("flush must not run after stop")
+			return nil
+		})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if st.Received != 1 || st.Batches != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRunContextCancelAbandonsPending(t *testing.T) {
+	src := make(chan int)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		src <- 1
+		cancel()
+	}()
+	_, err := Run(ctx, src, Options{MaxStaleness: time.Minute},
+		func(int) error { return nil },
+		func(FlushReason, int) error {
+			t.Error("flush must not run after cancel")
+			return nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunRejectedUpdatesDoNotBatch(t *testing.T) {
+	src := make(chan int, 8)
+	for i := 0; i < 6; i++ {
+		src <- i
+	}
+	close(src)
+	var flushes []flushRec
+	st, err := Run(context.Background(), src, Options{},
+		func(d int) error {
+			if d%2 == 1 {
+				return errors.New("odd")
+			}
+			return nil
+		},
+		func(r FlushReason, n int) error {
+			flushes = append(flushes, flushRec{r, n})
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Received != 6 || st.Rejected != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	total := 0
+	for _, f := range flushes {
+		total += f.batched
+	}
+	if total != 3 {
+		t.Fatalf("flushed %d accepted updates, want 3", total)
+	}
+}
+
+func TestRunFlushErrorAborts(t *testing.T) {
+	src := make(chan int, 8)
+	src <- 1
+	boom := errors.New("boom")
+	_, err := Run(context.Background(), src, Options{},
+		func(int) error { return nil },
+		func(FlushReason, int) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want flush error", err)
+	}
+}
+
+func TestRunBackpressure(t *testing.T) {
+	// The pump must not read ahead while a flush is running: flushes are
+	// synchronous on the pump goroutine, so a producer's send into an
+	// unbuffered channel cannot complete until the in-flight flush returns.
+	src := make(chan int)
+	inFlush := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(context.Background(), src, Options{},
+			func(int) error { return nil },
+			func(FlushReason, int) error {
+				inFlush <- struct{}{}
+				<-release
+				return nil
+			})
+		done <- err
+	}()
+	src <- 1  // accepted; the empty channel cuts the batch
+	<-inFlush // flush of batch 1 is now blocked
+	sent := make(chan struct{})
+	go func() {
+		src <- 2 // must block: the pump is inside flush, not reading
+		close(sent)
+	}()
+	select {
+	case <-sent:
+		t.Fatal("send completed while a flush was in progress; the pump read ahead")
+	case <-time.After(20 * time.Millisecond):
+	}
+	release <- struct{}{} // finish batch 1; the pump now reads 2
+	<-sent
+	close(src)
+	<-inFlush // batch 2 (drain- or close-cut, depending on timing)
+	release <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,9 +29,46 @@ package sched
 
 import (
 	"context"
+	"fmt"
 	"iter"
+	"runtime/debug"
 	"sync"
+
+	"bonsai/internal/faultinject"
 )
+
+// PanicError is the error a Run returns when a task panicked: the worker
+// recovers, captures the item and stack, and fails the run like any task
+// error — the process survives, the scheduler drains and stays usable for
+// subsequent runs.
+type PanicError struct {
+	// Item renders the panicking work item (for compression tasks, the
+	// class); Value is the recovered panic value.
+	Item  string
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sched: task %s panicked: %v\n%s", e.Item, e.Value, e.Stack)
+}
+
+// Protect runs do(worker, item), converting a panic into a *PanicError and
+// firing the sched.task fault-injection seam. Exported so serial fallback
+// paths that bypass the scheduler (e.g. single-worker verification) get the
+// same containment contract.
+func Protect[T any](worker int, item T, do func(worker int, item T) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Item: fmt.Sprint(item), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.SchedTask, fmt.Sprint(item))
+	}
+	return do(worker, item)
+}
 
 // Options configures one Run.
 type Options struct {
@@ -238,7 +275,7 @@ func (s *state[T]) work(ctx context.Context, worker int, do func(worker int, ite
 
 		var err error
 		if run {
-			err = do(worker, t.item)
+			err = Protect(worker, t.item, do)
 		}
 		s.mu.Lock()
 		if err != nil && s.err == nil {

@@ -245,3 +245,46 @@ func TestDispatchBackpressure(t *testing.T) {
 		t.Fatalf("consumed %d items", n)
 	}
 }
+
+func TestPanicContainedAsError(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Run(context.Background(), seqOf(50), Options{Shards: shards}, nil,
+			func(_ int, item int) error {
+				if item == 7 {
+					panic("poisoned item")
+				}
+				ran.Add(1)
+				return nil
+			})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("shards=%d: err = %v, want *PanicError", shards, err)
+		}
+		if pe.Item != "7" || pe.Value != "poisoned item" || len(pe.Stack) == 0 {
+			t.Fatalf("shards=%d: panic error = item %q value %v stack %d bytes", shards, pe.Item, pe.Value, len(pe.Stack))
+		}
+		// The scheduler drained and stays healthy: a fresh run over the
+		// same shard count completes cleanly.
+		ran.Store(0)
+		if _, err := Run(context.Background(), seqOf(50), Options{Shards: shards}, nil,
+			func(_ int, item int) error { ran.Add(1); return nil }); err != nil {
+			t.Fatalf("shards=%d: run after contained panic: %v", shards, err)
+		}
+		if ran.Load() != 50 {
+			t.Fatalf("shards=%d: %d of 50 items ran after contained panic", shards, ran.Load())
+		}
+	}
+}
+
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	// A panicking leader must still flush its parked followers so the run
+	// terminates (they drain unexecuted once the error stops the run).
+	key := func(int) string { return "same-group" }
+	_, err := Run(context.Background(), seqOf(20), Options{Shards: 2}, key,
+		func(_ int, item int) error { panic(fmt.Sprintf("leader %d", item)) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+}

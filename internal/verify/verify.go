@@ -315,7 +315,9 @@ func ForEachClassKeyed(ctx context.Context, classes iter.Seq[ec.Class], workers 
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := f(0, cls); err != nil {
+			// Protect gives the serial path the scheduler's panic
+			// containment: a poisoned class fails the call, not the process.
+			if err := sched.Protect(0, cls, f); err != nil {
 				return err
 			}
 		}

@@ -203,7 +203,19 @@ type ApplyReport struct {
 	// NewClasses counts post-delta classes that had no cached abstraction
 	// (newly originated prefixes, or classes never yet compressed);
 	// RemovedClasses counts pre-delta classes that no longer exist.
-	NewClasses     int           `json:"new_classes"`
-	RemovedClasses int           `json:"removed_classes"`
-	Duration       time.Duration `json:"duration_ns"`
+	NewClasses     int `json:"new_classes"`
+	RemovedClasses int `json:"removed_classes"`
+	// Degraded reports that the delta's blast radius exceeded the adoption
+	// sweep's profitable range, so the engine swapped to a cold successor
+	// snapshot (every class recompresses lazily) instead of running
+	// per-class stability checks. Degradation is graceful: queries stay
+	// correct, memory stays bounded, only warm-cache coverage is lost.
+	Degraded bool `json:"degraded,omitempty"`
+	// CoalescedAway lists edits that were received by an ApplyStream batch
+	// but never applied — superseded by a later writer or cancelled by
+	// returning to the pre-batch state. The list is capped; Coalesced is
+	// the full count. Both are zero for direct Apply calls.
+	CoalescedAway []string      `json:"coalesced_away,omitempty"`
+	Coalesced     int           `json:"coalesced,omitempty"`
+	Duration      time.Duration `json:"duration_ns"`
 }
