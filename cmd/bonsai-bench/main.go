@@ -28,6 +28,7 @@ import (
 	"testing"
 	"time"
 
+	"bonsai"
 	"bonsai/internal/benchrun"
 )
 
@@ -69,7 +70,13 @@ func run() int {
 	compare := flag.String("compare", "", "baseline JSON to diff against; warns (never fails) on >3x ns/class regressions")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(bonsai.Version())
+		return 0
+	}
 
 	var re *regexp.Regexp
 	if *filter != "" {

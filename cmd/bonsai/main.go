@@ -33,6 +33,9 @@ func main() {
 	}
 	var err error
 	switch os.Args[1] {
+	case "-version", "version":
+		fmt.Println(bonsai.Version())
+		return
 	case "gen":
 		err = cmdGen(os.Args[2:])
 	case "compress":
@@ -55,21 +58,30 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles|replay> [flags]
+	fmt.Fprintln(os.Stderr, `usage: bonsai <gen|compress|simulate|verify|roles|replay|version> [flags]
   gen       -topo fattree|ring|mesh|dc|wan|spineleaf [-k N] [-n N] [-policy shortest|prefer-bottom]
             [-spines N] [-leaves N] [-ext N]
   compress  -f FILE [-dest PREFIX] [-write-abstract] [-max N] [-rows] [-budget-mb N] [-json]
   simulate  -f FILE -dest PREFIX [-json]
   verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair] [-json]
   roles     -f FILE [-no-erase] [-no-statics] [-json]
-  replay    -f FILE -log DELTAS.jsonl [-pending N] [-staleness DUR] [-cold] [-v] [-json]`)
+  replay    -f FILE -log DELTAS.jsonl [-pending N] [-staleness DUR] [-cold] [-v] [-json]
+  version   print build metadata
+
+Engine subcommands also accept -server URL -tenant NAME to run as a thin
+client of a bonsaid daemon (with -f, the tenant is opened from the file
+first; an already-open tenant is reused).`)
 	os.Exit(2)
 }
 
 // engineFlags holds the flags shared by every engine-backed subcommand.
+// With -server, the subcommand runs as a thin client of a bonsaid daemon
+// instead of opening an in-process engine.
 type engineFlags struct {
 	file    *string
 	jsonOut *bool
+	server  *string
+	tenant  *string
 }
 
 // addEngineFlags registers the shared flags on fs.
@@ -77,6 +89,8 @@ func addEngineFlags(fs *flag.FlagSet) engineFlags {
 	return engineFlags{
 		file:    fs.String("f", "", "network file"),
 		jsonOut: fs.Bool("json", false, "emit the structured result as JSON"),
+		server:  fs.String("server", "", "bonsaid base URL (thin-client mode, e.g. http://127.0.0.1:7171)"),
+		tenant:  fs.String("tenant", "", "tenant name on the daemon (required with -server)"),
 	}
 }
 
@@ -142,6 +156,16 @@ func cmdCompress(args []string) error {
 	rows := fs.Bool("rows", true, "stream one row per class as it completes (text output)")
 	budgetMB := fs.Int64("budget-mb", 0, "abstraction store memory budget in MiB (0 = unbounded)")
 	fs.Parse(args)
+	ctx := context.Background()
+	if c, tenant, ok, err := ef.remote(ctx); err != nil {
+		return err
+	} else if ok {
+		if *writeAbstract {
+			return fmt.Errorf("compress: -write-abstract is local-only")
+		}
+		sel := bonsai.ClassSelector{Prefix: *dest, MaxClasses: *maxClasses}
+		return remoteCompress(ctx, ef, c, tenant, sel, *rows && !*ef.jsonOut)
+	}
 	var opts []bonsai.Option
 	if *budgetMB > 0 {
 		opts = append(opts, bonsai.WithMemoryBudget(*budgetMB<<20))
@@ -151,7 +175,6 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	defer eng.Close()
-	ctx := context.Background()
 
 	if *writeAbstract {
 		if *dest == "" {
@@ -213,13 +236,25 @@ func cmdSimulate(args []string) error {
 	if *dest == "" {
 		return fmt.Errorf("simulate: -f and -dest required")
 	}
-	eng, err := ef.open()
-	if err != nil {
+	ctx := context.Background()
+	var rep *bonsai.RoutesReport
+	if c, tenant, ok, err := ef.remote(ctx); err != nil {
 		return err
-	}
-	rep, err := eng.Routes(context.Background(), *dest)
-	if err != nil {
-		return err
+	} else if ok {
+		rep, err = c.Routes(ctx, tenant, *dest)
+		if err != nil {
+			return err
+		}
+	} else {
+		eng, err := ef.open()
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		rep, err = eng.Routes(ctx, *dest)
+		if err != nil {
+			return err
+		}
 	}
 	if done, err := ef.emit(rep); done {
 		return err
@@ -240,17 +275,30 @@ func cmdVerify(args []string) error {
 	perPair := fs.Bool("per-pair", false, "per-query certification (Minesweeper-style cost)")
 	maxClasses := fs.Int("max", 0, "max destination classes")
 	fs.Parse(args)
-	eng, err := ef.open()
+	ctx := context.Background()
+	c, tenant, isRemote, err := ef.remote(ctx)
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
+	var eng *bonsai.Engine
+	if !isRemote {
+		if eng, err = ef.open(); err != nil {
+			return err
+		}
+		defer eng.Close()
+	}
 	if *allPairs {
-		rep, err := eng.Verify(ctx, bonsai.VerifyRequest{
+		req := bonsai.VerifyRequest{
 			Concrete:   !*useBonsai,
 			PerPair:    *perPair,
 			MaxClasses: *maxClasses,
-		})
+		}
+		var rep *bonsai.Report
+		if isRemote {
+			rep, err = c.Verify(ctx, tenant, req)
+		} else {
+			rep, err = eng.Verify(ctx, req)
+		}
 		if err != nil {
 			return err
 		}
@@ -264,9 +312,12 @@ func cmdVerify(args []string) error {
 		return fmt.Errorf("verify: -src and -dest (or -all-pairs) required")
 	}
 	var res *bonsai.ReachResult
-	if *useBonsai {
+	switch {
+	case isRemote:
+		res, err = c.Reach(ctx, tenant, *src, *dest, !*useBonsai)
+	case *useBonsai:
 		res, err = eng.Reach(ctx, *src, *dest)
-	} else {
+	default:
 		res, err = eng.ReachConcrete(ctx, *src, *dest)
 	}
 	if err != nil {
@@ -285,16 +336,26 @@ func cmdRoles(args []string) error {
 	noErase := fs.Bool("no-erase", false, "count unused communities as distinct")
 	noStatics := fs.Bool("no-statics", false, "ignore static routes")
 	fs.Parse(args)
-	eng, err := ef.open()
-	if err != nil {
+	ctx := context.Background()
+	req := bonsai.RolesRequest{NoErase: *noErase, NoStatics: *noStatics}
+	var rep *bonsai.RolesReport
+	if c, tenant, ok, err := ef.remote(ctx); err != nil {
 		return err
-	}
-	rep, err := eng.Roles(context.Background(), bonsai.RolesRequest{
-		NoErase:   *noErase,
-		NoStatics: *noStatics,
-	})
-	if err != nil {
-		return err
+	} else if ok {
+		rep, err = c.Roles(ctx, tenant, req)
+		if err != nil {
+			return err
+		}
+	} else {
+		eng, err := ef.open()
+		if err != nil {
+			return err
+		}
+		defer eng.Close()
+		rep, err = eng.Roles(ctx, req)
+		if err != nil {
+			return err
+		}
 	}
 	if done, err := ef.emit(rep); done {
 		return err

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"bonsai"
+	"bonsai/internal/server"
+)
+
+// remote reports whether the shared flags select thin-client mode and
+// returns the daemon client plus tenant name. With -f also given, the
+// tenant is opened from the file first (an already-open tenant is fine, so
+// scripted invocations are idempotent).
+func (ef engineFlags) remote(ctx context.Context) (*server.Client, string, bool, error) {
+	if *ef.server == "" {
+		return nil, "", false, nil
+	}
+	if *ef.tenant == "" {
+		return nil, "", false, fmt.Errorf("-server requires -tenant NAME")
+	}
+	c := server.NewClient(*ef.server)
+	if *ef.file != "" {
+		f, err := os.Open(*ef.file)
+		if err != nil {
+			return nil, "", false, err
+		}
+		defer f.Close()
+		err = c.Open(ctx, *ef.tenant, f)
+		if err != nil && server.StatusCode(err) != http.StatusConflict {
+			return nil, "", false, fmt.Errorf("opening tenant %q: %w", *ef.tenant, err)
+		}
+	}
+	return c, *ef.tenant, true, nil
+}
+
+// remoteCompress is cmdCompress against a daemon tenant: rows stream over
+// NDJSON exactly as the local pipeline streams them.
+func remoteCompress(ctx context.Context, ef engineFlags, c *server.Client, tenant string, sel bonsai.ClassSelector, printRows bool) error {
+	row := func(r bonsai.ClassResult) {
+		if printRows {
+			fmt.Printf("%-18s %3d nodes %3d links  %-11s %v\n",
+				r.Prefix, r.AbstractNodes, r.AbstractLinks, r.Source,
+				r.Duration.Round(time.Microsecond))
+		}
+	}
+	rep, err := c.CompressStream(ctx, tenant, sel, row)
+	if err != nil {
+		return err
+	}
+	if done, err := ef.emit(rep); done {
+		return err
+	}
+	fmt.Printf("network: %d nodes, %d links, %d interfaces, %d classes (compressed %d)\n",
+		rep.Network.Routers, rep.Network.Links, rep.Network.Interfaces,
+		rep.Network.Classes, rep.ClassesCompressed)
+	fmt.Printf("abstract: avg %.1f nodes / %.1f links (%.2fx / %.2fx)\n",
+		rep.AvgAbstractNodes(), rep.AvgAbstractLinks(), rep.NodeRatio, rep.LinkRatio)
+	return nil
+}
+
+// remoteReplay pipes the JSONL log through POST /replay, letting the
+// daemon's ingest backpressure pace the upload.
+func remoteReplay(ctx context.Context, ef engineFlags, c *server.Client, tenant, logPath string, pending int, staleness time.Duration, cold bool) error {
+	if !cold {
+		if _, err := c.Compress(ctx, tenant, bonsai.ClassSelector{}); err != nil {
+			return err
+		}
+	}
+	in := os.Stdin
+	if logPath != "-" {
+		f, err := os.Open(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	// Strip comments/blank lines but validate JSON client-side so a typo'd
+	// log fails with a line number instead of a mid-stream 400.
+	pr, pw := io.Pipe()
+	go func() {
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+		line := 0
+		for sc.Scan() {
+			line++
+			raw := sc.Bytes()
+			if len(raw) == 0 || raw[0] == '#' {
+				continue
+			}
+			if !json.Valid(raw) {
+				pw.CloseWithError(fmt.Errorf("replay: %s:%d: invalid JSON", logPath, line))
+				return
+			}
+			if _, err := pw.Write(append(raw, '\n')); err != nil {
+				return
+			}
+		}
+		pw.CloseWithError(sc.Err())
+	}()
+	rep, err := c.Replay(ctx, tenant, pr, pending, staleness)
+	if err != nil {
+		return err
+	}
+	if done, err := ef.emit(rep); done {
+		return err
+	}
+	printReplayReport(rep)
+	return nil
+}

@@ -31,12 +31,17 @@ func cmdReplay(args []string) error {
 	if *logPath == "" {
 		return fmt.Errorf("replay: -log required")
 	}
+	ctx := context.Background()
+	if c, tenant, ok, err := ef.remote(ctx); err != nil {
+		return err
+	} else if ok {
+		return remoteReplay(ctx, ef, c, tenant, *logPath, *pending, *staleness, *cold)
+	}
 	eng, err := ef.open()
 	if err != nil {
 		return err
 	}
 	defer eng.Close()
-	ctx := context.Background()
 
 	// Warm the abstraction cache so batches exercise the adoption path; a
 	// cold replay only measures ingestion and rebuild.
@@ -106,6 +111,13 @@ func cmdReplay(args []string) error {
 	if done, err := ef.emit(rep); done {
 		return err
 	}
+	printReplayReport(rep)
+	return nil
+}
+
+// printReplayReport renders the stream report for text output (shared by
+// the local and thin-client replay paths).
+func printReplayReport(rep *bonsai.ApplyStreamReport) {
 	ratio := ""
 	if rep.CoalesceRatio > 0 {
 		ratio = fmt.Sprintf(" (coalesce ratio %.1fx)", rep.CoalesceRatio)
@@ -117,5 +129,4 @@ func cmdReplay(args []string) error {
 		rep.Adopted, rep.Invalidated, rep.NewClasses, rep.RemovedClasses, rep.DegradedBatches)
 	fmt.Printf("flushes: drain %d, pending %d, stale %d, close %d; max queue depth %d\n",
 		rep.FlushDrain, rep.FlushPending, rep.FlushStale, rep.FlushClose, rep.MaxPending)
-	return nil
 }

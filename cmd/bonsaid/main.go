@@ -1,0 +1,96 @@
+// Command bonsaid serves the bonsai control-plane compression engine as a
+// long-running multi-tenant daemon: named networks are opened over an
+// HTTP/JSON API and queried concurrently, all tenants share one global
+// abstraction-memory budget, and per-tenant quotas keep an overloaded
+// tenant from starving the rest. SIGTERM/SIGINT trigger a graceful drain:
+// new requests get 503, in-flight work finishes, every engine closes.
+//
+//	bonsaid -addr :7171 -budget-mb 2048 -floor-mb 64 -max-queries 8
+//	curl -X PUT --data-binary @net.txt localhost:7171/v1/tenants/prod
+//	curl 'localhost:7171/v1/tenants/prod/reach?src=edge-1-1&dest=10.0.0.0/24'
+//	curl localhost:7171/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bonsai"
+	"bonsai/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7171", "listen address")
+	budgetMB := flag.Int64("budget-mb", 0, "global abstraction-memory budget in MiB across all tenants (0 = unbounded)")
+	floorMB := flag.Int64("floor-mb", 0, "per-tenant budget floor in MiB (cross-tenant eviction never digs below it)")
+	maxTenants := flag.Int("max-tenants", 0, "max concurrently open tenants (0 = unbounded)")
+	maxQueries := flag.Int("max-queries", 4, "max concurrent queries per tenant (excess get 429)")
+	applyQueue := flag.Int("apply-queue", 16, "bounded apply-queue depth per tenant (excess get 503)")
+	idleTTL := flag.Duration("idle-ttl", 0, "close tenants idle this long (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight work on shutdown")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println(bonsai.Version())
+		return
+	}
+
+	s := server.New(server.Config{
+		GlobalBudget:        *budgetMB << 20,
+		TenantFloor:         *floorMB << 20,
+		MaxTenants:          *maxTenants,
+		MaxQueriesPerTenant: *maxQueries,
+		ApplyQueueDepth:     *applyQueue,
+		IdleTTL:             *idleTTL,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("bonsaid: listen: %v", err)
+	}
+	log.Printf("bonsaid %s listening on %s (budget %d MiB, floor %d MiB)",
+		bonsai.Version().GoVersion, ln.Addr(), *budgetMB, *floorMB)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-serveErr:
+		log.Fatalf("bonsaid: serve: %v", err)
+	case got := <-sig:
+		log.Printf("bonsaid: %v: draining (new requests get 503)", got)
+	}
+
+	// Drain order: the app layer first refuses new work and waits for
+	// in-flight requests (bounded by -drain-timeout), then the HTTP server
+	// closes its listener and idle connections.
+	done := make(chan struct{})
+	go func() {
+		s.Drain()
+		close(done)
+	}()
+	select {
+	case <-done:
+		log.Printf("bonsaid: drained cleanly")
+	case <-time.After(*drainTimeout):
+		log.Printf("bonsaid: drain timeout after %v; exiting with work in flight", *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("bonsaid: shutdown: %v", err)
+	}
+}

@@ -86,7 +86,21 @@ func Open(net *Network, opts ...Option) (*Engine, error) {
 	}
 	e.pool = make(chan *pooledCompiler, poolCap)
 	e.state.Store(&engineState{cfg: cfg, b: b, universe: universeKey(cfg)})
+	if o.pool != nil {
+		o.pool.Attach(b, e.poolLabel(), o.poolFloor)
+	}
 	return e, nil
+}
+
+// poolLabel names this engine in shared-pool stats.
+func (e *Engine) poolLabel() string {
+	if e.opts.poolLabel != "" {
+		return e.opts.poolLabel
+	}
+	if name := e.state.Load().cfg.Name; name != "" {
+		return name
+	}
+	return "engine"
 }
 
 // Close shuts the engine down: the idle compiler pool is drained and every
@@ -102,6 +116,13 @@ func (e *Engine) Close() error {
 	}
 	close(e.closeCh)
 	e.drainPool()
+	if e.opts.pool != nil {
+		// Serialise with any in-flight Apply/ApplyStream (both abort promptly
+		// on closeCh) so the builder detached is the final snapshot's.
+		e.applyMu.Lock()
+		e.opts.pool.Detach(e.state.Load().b)
+		e.applyMu.Unlock()
+	}
 	return nil
 }
 
@@ -498,6 +519,14 @@ func (e *Engine) applyDelta(ctx context.Context, d Delta) (rep *ApplyReport, err
 		faultinject.Fire(faultinject.ApplySwap, "")
 	}
 	e.state.Store(st2)
+	if e.opts.pool != nil {
+		// Pool membership follows the snapshot: the successor is attached
+		// only now (so a failed apply never perturbs pool accounting) and
+		// the predecessor's bytes are released immediately rather than when
+		// the GC notices the old builder.
+		e.opts.pool.Detach(st.b)
+		e.opts.pool.Attach(st2.b, e.poolLabel(), e.opts.poolFloor)
+	}
 	return &ApplyReport{
 		Classes:             len(b2.Classes()),
 		Adopted:             stats.Adopted,

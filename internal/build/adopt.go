@@ -190,6 +190,10 @@ func (b *Builder) AdoptFrom(ctx context.Context, comp *policy.Compiler, old *Bui
 		}
 	}
 	st.Removed = len(oldByPrefix)
+	// One cross-tenant pressure pass per adoption sweep: installs above ran
+	// under the store lock, so the shared pool (if b is attached) settles
+	// here rather than per class.
+	b.store.pressure()
 	return st, nil
 }
 

@@ -290,6 +290,10 @@ func (b *Builder) CompressTagged(ctx context.Context, comp *policy.Compiler, cls
 	}
 	st.mu.Unlock()
 	close(e.ready)
+	// Cross-tenant pressure runs outside the store lock (Pool.mu is ordered
+	// above store.mu); a no-op when the store is not pool-attached or the
+	// pool fits its ceiling.
+	st.pressure()
 	return e.abs, prov, e.err
 }
 

@@ -52,6 +52,11 @@ type absStore struct {
 
 	served, transported, misses, evictions, dupFresh int64
 	fresh, adopted                                   int
+
+	// pool, when non-nil, is the shared cross-Builder memory pool this
+	// store's bytes are charged against (pool.go). Guarded by mu; the pool
+	// itself is updated with atomics so no Pool lock is taken here.
+	pool *Pool
 }
 
 func newAbsStore() absStore {
@@ -61,8 +66,12 @@ func newAbsStore() absStore {
 	}
 }
 
-// reset empties the store and its counters, keeping the budget.
+// reset empties the store and its counters, keeping the budget (and pool
+// membership, discharging the dropped bytes).
 func (s *absStore) reset() {
+	if s.pool != nil {
+		s.pool.charge(-s.bytes)
+	}
 	s.entries = make(map[string]*absEntry)
 	s.isoIndex = make(map[uint64][]*absEntry)
 	s.bytes, s.peak = 0, 0
@@ -114,6 +123,9 @@ func (s *absStore) lruTouch(e *absEntry) {
 func (s *absStore) account(e *absEntry) {
 	e.bytes = entryBytes(e)
 	s.bytes += e.bytes
+	if s.pool != nil {
+		s.pool.charge(e.bytes)
+	}
 	s.lruTouch(e)
 }
 
@@ -140,6 +152,9 @@ func (s *absStore) remove(e *absEntry) {
 		delete(s.entries, e.fp)
 	}
 	s.bytes -= e.bytes
+	if s.pool != nil {
+		s.pool.charge(-e.bytes)
+	}
 }
 
 // SetAbstractionBudget bounds the abstraction store to approximately the

@@ -1,0 +1,393 @@
+// Package metrics is a dependency-free Prometheus-style instrumentation
+// layer: counters, gauges and histograms, optionally labeled, collected in a
+// Registry that renders the text exposition format (version 0.0.4) for a
+// /metrics endpoint. It implements exactly the subset bonsaid needs —
+// monotonic counters, set/func gauges, fixed-bucket histograms and
+// label-vector variants with dynamic label values (tenants come and go) —
+// with lock-free hot paths: a counter increment is one atomic add, a
+// histogram observation is two adds and a CAS loop on the sum.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is ignored (counters never decrease).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. Read is atomic; Set/Add are
+// safe from any goroutine.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (CAS loop; fine for low-rate gauges).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative buckets, with a running sum
+// and count, matching Prometheus histogram semantics (<basename>_bucket with
+// le labels, _sum, _count).
+type Histogram struct {
+	bounds []float64 // upper bounds, sorted ascending; +Inf implicit
+	counts []atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets builds n exponential bucket bounds starting at start and
+// multiplying by factor — the usual latency-histogram shape.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind discriminates exposition TYPE lines.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// family is one named metric with zero or more label dimensions.
+type family struct {
+	name, help string
+	kind       metricKind
+	labels     []string
+	bounds     []float64 // histogram families
+
+	mu       sync.Mutex
+	children map[string]*child // label-values key -> child
+	order    []string          // insertion order, for stable output
+	gaugeFn  func() float64    // unlabeled callback gauge
+}
+
+type child struct {
+	labelVals []string
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+}
+
+// Registry collects metric families and renders them.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+	byN  map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byN: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, kind metricKind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byN[name]; ok {
+		return f // registration is idempotent by name
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels,
+		bounds: bounds, children: make(map[string]*child)}
+	r.fams = append(r.fams, f)
+	r.byN[name] = f
+	return f
+}
+
+// key joins label values; \xff never appears in sane label values.
+func key(vals []string) string { return strings.Join(vals, "\xff") }
+
+func (f *family) child(vals []string) *child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := key(vals)
+	c, ok := f.children[k]
+	if !ok {
+		c = &child{labelVals: append([]string(nil), vals...)}
+		switch f.kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			c.hist = newHistogram(f.bounds)
+		}
+		f.children[k] = c
+		f.order = append(f.order, k)
+	}
+	return c
+}
+
+// deleteChild removes one label combination (a closed tenant).
+func (f *family) deleteChild(vals []string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	k := key(vals)
+	if _, ok := f.children[k]; !ok {
+		return
+	}
+	delete(f.children, k)
+	for i, o := range f.order {
+		if o == k {
+			f.order = append(f.order[:i], f.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, kindCounter, nil, nil).child(nil).counter
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, kindGauge, nil, nil).child(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	f.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the given
+// bucket upper bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.family(name, help, kindHistogram, nil, bounds).child(nil).hist
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(vals ...string) *Counter { return v.f.child(vals).counter }
+
+// Delete drops the series for the given label values.
+func (v *CounterVec) Delete(vals ...string) { v.f.deleteChild(vals) }
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.family(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(vals ...string) *Gauge { return v.f.child(vals).gauge }
+
+// Delete drops the series for the given label values.
+func (v *GaugeVec) Delete(vals ...string) { v.f.deleteChild(vals) }
+
+// HistogramVec is a histogram family with label dimensions.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{r.family(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(vals ...string) *Histogram { return v.f.child(vals).hist }
+
+// Delete drops the series for the given label values.
+func (v *HistogramVec) Delete(vals ...string) { v.f.deleteChild(vals) }
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// labelString renders {k1="v1",...} (with an optional extra pair appended),
+// or "" when empty.
+func labelString(names, vals []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, n, escapeLabel(vals[i]))
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	f.mu.Lock()
+	children := make([]*child, 0, len(f.order))
+	for _, k := range f.order {
+		children = append(children, f.children[k])
+	}
+	fn := f.gaugeFn
+	f.mu.Unlock()
+	if len(children) == 0 && fn == nil {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		return err
+	}
+	if fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, fmtFloat(fn()))
+		return err
+	}
+	for _, c := range children {
+		ls := labelString(f.labels, c.labelVals, "", "")
+		switch f.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, ls, c.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, ls, fmtFloat(c.gauge.Value())); err != nil {
+				return err
+			}
+		case kindHistogram:
+			h := c.hist
+			cum := int64(0)
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				le := fmtFloat(ub)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, labelString(f.labels, c.labelVals, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, labelString(f.labels, c.labelVals, "le", "+Inf"), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, ls, fmtFloat(h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, ls, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "total requests")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("depth", "queue depth")
+	g.Set(2)
+	g.Add(1.5)
+	r.GaugeFunc("live_bytes", "live bytes", func() float64 { return 42 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE reqs_total counter",
+		"reqs_total 4",
+		"# TYPE depth gauge",
+		"depth 3.5",
+		"live_bytes 42",
+		"# HELP reqs_total total requests",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVecLabelsAndDelete(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ops_total", "ops", "tenant", "op")
+	v.With("a", "reach").Add(2)
+	v.With("b", "verify").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `ops_total{tenant="a",op="reach"} 2`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	if !strings.Contains(out, `ops_total{tenant="b",op="verify"} 1`) {
+		t.Errorf("missing labeled sample:\n%s", out)
+	}
+	v.Delete("a", "reach")
+	b.Reset()
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), `tenant="a"`) {
+		t.Errorf("deleted series still exposed:\n%s", b.String())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.5 || got > 5.6 {
+		t.Fatalf("sum = %v", got)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive
+	if h.counts[0].Load() != 1 {
+		t.Fatalf("observation on boundary fell in bucket %v", h.counts)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if diff := b[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("c_total", "", "k")
+	hv := r.HistogramVec("h_seconds", "", []float64{0.5}, "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := string(rune('a' + i%3))
+			for j := 0; j < 1000; j++ {
+				v.With(k).Inc()
+				hv.With(k).Observe(float64(j % 2))
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				var b strings.Builder
+				r.WritePrometheus(&b)
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	total := int64(0)
+	for _, k := range []string{"a", "b", "c"} {
+		total += v.With(k).Value()
+	}
+	if total != 8000 {
+		t.Fatalf("lost increments: %d", total)
+	}
+}

@@ -31,9 +31,10 @@ func (a Action) String() string {
 // PrefixEntry is one line of a prefix list: action plus a prefix with
 // optional ge/le length bounds (0 means exact-match-only on that side).
 type PrefixEntry struct {
-	Action Action
-	Prefix netip.Prefix
-	Ge, Le int
+	Action Action       `json:"action"`
+	Prefix netip.Prefix `json:"prefix"`
+	Ge     int          `json:"ge,omitempty"`
+	Le     int          `json:"le,omitempty"`
 }
 
 // matches reports whether a destination prefix matches this entry.
@@ -60,8 +61,8 @@ func (e PrefixEntry) matches(p netip.Prefix) bool {
 // PrefixList is an ordered list of prefix entries with first-match-wins
 // semantics and implicit deny.
 type PrefixList struct {
-	Name    string
-	Entries []PrefixEntry
+	Name    string        `json:"name,omitempty"`
+	Entries []PrefixEntry `json:"entries"`
 }
 
 // Matches reports whether prefix p is permitted by the list.
@@ -77,8 +78,8 @@ func (l *PrefixList) Matches(p netip.Prefix) bool {
 // CommunityList names a set of communities; it matches a route carrying any
 // of them.
 type CommunityList struct {
-	Name        string
-	Communities []protocols.Community
+	Name        string                `json:"name,omitempty"`
+	Communities []protocols.Community `json:"communities"`
 }
 
 // Matches reports whether the route's community set intersects the list.
@@ -103,8 +104,8 @@ const (
 // Match is one match condition of a route-map clause; all matches in a
 // clause must hold (logical AND).
 type Match struct {
-	Kind MatchKind
-	Arg  string
+	Kind MatchKind `json:"kind"`
+	Arg  string    `json:"arg"`
 }
 
 // SetKind discriminates route-map set actions.
@@ -119,33 +120,33 @@ const (
 
 // Set is one set action of a permitting route-map clause.
 type Set struct {
-	Kind  SetKind
-	Value uint32              // for SetLocalPref
-	Comm  protocols.Community // for Add/DeleteCommunity
+	Kind  SetKind             `json:"kind"`
+	Value uint32              `json:"value,omitempty"` // for SetLocalPref
+	Comm  protocols.Community `json:"comm,omitempty"`  // for Add/DeleteCommunity
 }
 
 // Clause is one sequence of a route map. A clause with no matches matches
 // everything.
 type Clause struct {
-	Seq     int
-	Action  Action
-	Matches []Match
-	Sets    []Set
+	Seq     int     `json:"seq"`
+	Action  Action  `json:"action"`
+	Matches []Match `json:"matches,omitempty"`
+	Sets    []Set   `json:"sets,omitempty"`
 }
 
 // RouteMap is an ordered list of clauses with first-match-wins semantics and
 // implicit deny at the end.
 type RouteMap struct {
-	Name    string
-	Clauses []Clause
+	Name    string   `json:"name,omitempty"`
+	Clauses []Clause `json:"clauses"`
 }
 
 // ACL is a destination-based packet filter applied on an interface. It does
 // not affect routing, but Bonsai folds it into the edge signature so that
 // fwd-equivalence is preserved (paper §6).
 type ACL struct {
-	Name    string
-	Entries []PrefixEntry
+	Name    string        `json:"name,omitempty"`
+	Entries []PrefixEntry `json:"entries"`
 }
 
 // Permits reports whether traffic to prefix p passes the ACL.

@@ -33,6 +33,7 @@ import (
 	"iter"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"bonsai/internal/faultinject"
 )
@@ -88,6 +89,30 @@ type Stats struct {
 	Followers int64
 	// Steals counts tasks a worker took from another worker's deque.
 	Steals int64
+}
+
+// Process-wide accumulators across every Run, for long-lived embedders
+// (bonsaid's /metrics) whose callers discard per-run Stats.
+var global struct {
+	items, groups, followers, steals atomic.Int64
+}
+
+// GlobalStats returns the process-wide totals accumulated across all Runs.
+func GlobalStats() Stats {
+	return Stats{
+		Items:     global.items.Load(),
+		Groups:    global.groups.Load(),
+		Followers: global.followers.Load(),
+		Steals:    global.steals.Load(),
+	}
+}
+
+// accumulate folds one Run's stats into the process-wide totals.
+func (st Stats) accumulate() {
+	global.items.Add(st.Items)
+	global.groups.Add(st.Groups)
+	global.followers.Add(st.Followers)
+	global.steals.Add(st.Steals)
 }
 
 // task is one schedulable unit.
@@ -183,6 +208,7 @@ func Run[T any](ctx context.Context, seq iter.Seq[T], opts Options, key func(T) 
 	s.mu.Unlock()
 	wg.Wait()
 
+	s.stats.accumulate()
 	if err := ctx.Err(); err != nil {
 		return s.stats, err
 	}

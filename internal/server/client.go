@@ -1,0 +1,309 @@
+// Client is the Go client of the bonsaid API — the other half of the wire
+// contract, used by `bonsai -server` thin-client mode and the server tests.
+// Every method mirrors one endpoint and decodes into the same public
+// structs the library returns, so a caller can swap an in-process Engine
+// for a remote tenant without changing result handling.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"bonsai"
+)
+
+// Client talks to one bonsaid instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:7171"). The default transport has no overall timeout:
+// replay and compress calls legitimately run long.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError is a non-2xx response, preserving the status code so callers can
+// distinguish overload (429/503) from failure.
+type apiError struct {
+	Status  int
+	Message string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.Status, e.Message)
+}
+
+// StatusCode returns err's HTTP status if it came from the daemon, else 0.
+func StatusCode(err error) int {
+	var ae *apiError
+	if ok := asAPIError(err, &ae); ok {
+		return ae.Status
+	}
+	return 0
+}
+
+func asAPIError(err error, out **apiError) bool {
+	for err != nil {
+		if ae, ok := err.(*apiError); ok {
+			*out = ae
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// do issues a request and decodes the JSON response into out (skipped when
+// out is nil). Non-2xx responses become *apiError.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func jsonBody(v any) io.Reader {
+	b, _ := json.Marshal(v)
+	return bytes.NewReader(b)
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Version fetches the daemon's build metadata.
+func (c *Client) Version(ctx context.Context) (bonsai.VersionInfo, error) {
+	var v bonsai.VersionInfo
+	err := c.do(ctx, http.MethodGet, "/version", nil, &v)
+	return v, err
+}
+
+// Open creates tenant name over the network's text serialization.
+func (c *Client) Open(ctx context.Context, name string, network io.Reader) error {
+	return c.do(ctx, http.MethodPut, "/v1/tenants/"+url.PathEscape(name), network, nil)
+}
+
+// OpenNetwork serializes net and opens it as tenant name.
+func (c *Client) OpenNetwork(ctx context.Context, name string, net *bonsai.Network) error {
+	var b bytes.Buffer
+	if err := bonsai.Print(&b, net); err != nil {
+		return err
+	}
+	return c.Open(ctx, name, &b)
+}
+
+// Close deletes tenant name.
+func (c *Client) Close(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/tenants/"+url.PathEscape(name), nil, nil)
+}
+
+// Tenants lists open tenants.
+func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
+	var out []TenantInfo
+	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	return out, err
+}
+
+// Apply sends one delta and returns its report.
+func (c *Client) Apply(ctx context.Context, name string, d bonsai.Delta) (*bonsai.ApplyReport, error) {
+	var rep bonsai.ApplyReport
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/apply", jsonBody(d), &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Replay streams JSONL-encoded deltas from r through the tenant's
+// ApplyStream. pending/staleness mirror bonsai.WithMaxPending /
+// WithMaxStaleness (zero values are omitted).
+func (c *Client) Replay(ctx context.Context, name string, r io.Reader, pending int, staleness time.Duration) (*bonsai.ApplyStreamReport, error) {
+	q := url.Values{}
+	if pending > 0 {
+		q.Set("pending", fmt.Sprint(pending))
+	}
+	if staleness > 0 {
+		q.Set("staleness", staleness.String())
+	}
+	path := "/v1/tenants/" + url.PathEscape(name) + "/replay"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var rep bonsai.ApplyStreamReport
+	if err := c.do(ctx, http.MethodPost, path, r, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Verify runs a verification and returns its report.
+func (c *Client) Verify(ctx context.Context, name string, req bonsai.VerifyRequest) (*bonsai.Report, error) {
+	var rep bonsai.Report
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/verify", jsonBody(req), &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Compress compresses the selected classes and returns the batch report.
+func (c *Client) Compress(ctx context.Context, name string, sel bonsai.ClassSelector) (*bonsai.CompressReport, error) {
+	var rep bonsai.CompressReport
+	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/compress", jsonBody(sel), &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// CompressStream streams per-class rows (row is called for each as it
+// arrives) and returns the final report.
+func (c *Client) CompressStream(ctx context.Context, name string, sel bonsai.ClassSelector, row func(bonsai.ClassResult)) (*bonsai.CompressReport, error) {
+	path := "/v1/tenants/" + url.PathEscape(name) + "/compress?stream=1"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, jsonBody(sel))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, &apiError{Status: resp.StatusCode, Message: resp.Status}
+	}
+	dec := json.NewDecoder(resp.Body)
+	var rep *bonsai.CompressReport
+	for {
+		var msg struct {
+			Row    *bonsai.ClassResult    `json:"row"`
+			Report *bonsai.CompressReport `json:"report"`
+		}
+		if err := dec.Decode(&msg); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		if msg.Row != nil && row != nil {
+			row(*msg.Row)
+		}
+		if msg.Report != nil {
+			rep = msg.Report
+		}
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("server: compress stream ended without a report")
+	}
+	return rep, nil
+}
+
+// Reach answers one reachability query; concrete skips compression.
+func (c *Client) Reach(ctx context.Context, name, src, dest string, concrete bool) (*bonsai.ReachResult, error) {
+	q := url.Values{"src": {src}, "dest": {dest}}
+	if concrete {
+		q.Set("concrete", "1")
+	}
+	var res bonsai.ReachResult
+	err := c.do(ctx, http.MethodGet,
+		"/v1/tenants/"+url.PathEscape(name)+"/reach?"+q.Encode(), nil, &res)
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Routes fetches the converged routes for one destination class.
+func (c *Client) Routes(ctx context.Context, name, dest string) (*bonsai.RoutesReport, error) {
+	q := url.Values{"dest": {dest}}
+	var rep bonsai.RoutesReport
+	err := c.do(ctx, http.MethodGet,
+		"/v1/tenants/"+url.PathEscape(name)+"/routes?"+q.Encode(), nil, &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Roles counts behavioral router roles.
+func (c *Client) Roles(ctx context.Context, name string, req bonsai.RolesRequest) (*bonsai.RolesReport, error) {
+	q := url.Values{}
+	if req.NoErase {
+		q.Set("no_erase", "1")
+	}
+	if req.NoStatics {
+		q.Set("no_statics", "1")
+	}
+	path := "/v1/tenants/" + url.PathEscape(name) + "/roles"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var rep bonsai.RolesReport
+	if err := c.do(ctx, http.MethodGet, path, nil, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Stats fetches one tenant's cache and apply-stream snapshot.
+func (c *Client) Stats(ctx context.Context, name string) (*TenantStats, error) {
+	var st TenantStats
+	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name)+"/stats", nil, &st)
+	if err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Metrics fetches the raw Prometheus exposition.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

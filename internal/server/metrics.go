@@ -1,0 +1,179 @@
+// Metric wiring: the daemon's Prometheus-style catalog, fed from three
+// layers — HTTP admission (latency histograms, rejections, queue depths),
+// the engines' cache statistics (hit/eviction rates, adoption ratios,
+// ns/class, coalesce ratios, sampled at scrape time so counters are always
+// consistent with Engine.Stats), and the shared memory pool (live/peak
+// bytes, cross-tenant evictions). Everything is stdlib-only text exposition
+// via internal/metrics.
+package server
+
+import (
+	"net/http"
+
+	"bonsai"
+	"bonsai/internal/metrics"
+	"bonsai/internal/sched"
+)
+
+// metricSet bundles the daemon's instruments.
+type metricSet struct {
+	reg *metrics.Registry
+
+	// HTTP layer.
+	reqSeconds *metrics.HistogramVec // {tenant, op}
+	rejected   *metrics.CounterVec   // {tenant, reason}
+	inflight   *metrics.GaugeVec     // {tenant}
+	queueDepth *metrics.GaugeVec     // {tenant}
+
+	// Engine layer, refreshed at scrape time.
+	cacheServed    *metrics.GaugeVec // {tenant}
+	cacheMisses    *metrics.GaugeVec
+	cacheHitRate   *metrics.GaugeVec
+	cacheEvictions *metrics.GaugeVec
+	cacheLive      *metrics.GaugeVec
+	cachePeak      *metrics.GaugeVec
+	adopted        *metrics.GaugeVec
+	invalidated    *metrics.CounterVec // accumulated from apply reports
+	adoptionRatio  *metrics.GaugeVec
+	nsPerClass     *metrics.GaugeVec
+	coalesceRatio  *metrics.GaugeVec
+
+	// Pool layer.
+	poolLive    *metrics.Gauge
+	poolPeak    *metrics.Gauge
+	poolCeiling *metrics.Gauge
+	poolCross   *metrics.Gauge
+
+	// Scheduler layer (process-wide).
+	schedItems     *metrics.Gauge
+	schedSteals    *metrics.Gauge
+	schedFollowers *metrics.Gauge
+}
+
+// latencyBuckets: 100µs .. ~100s exponential.
+var latencyBuckets = metrics.ExpBuckets(0.0001, 4, 11)
+
+func newMetricSet() *metricSet {
+	r := metrics.NewRegistry()
+	m := &metricSet{
+		reg: r,
+		reqSeconds: r.HistogramVec("bonsaid_request_seconds",
+			"Request latency by tenant and operation.", latencyBuckets, "tenant", "op"),
+		rejected: r.CounterVec("bonsaid_rejected_total",
+			"Requests rejected by admission control, by reason.", "tenant", "reason"),
+		inflight: r.GaugeVec("bonsaid_inflight_queries",
+			"Queries currently admitted per tenant.", "tenant"),
+		queueDepth: r.GaugeVec("bonsaid_apply_queue_depth",
+			"Deltas waiting in the bounded apply queue.", "tenant"),
+
+		cacheServed: r.GaugeVec("bonsai_cache_served_total",
+			"Compression calls answered from the identity cache.", "tenant"),
+		cacheMisses: r.GaugeVec("bonsai_cache_misses_total",
+			"Compression calls that had to compute.", "tenant"),
+		cacheHitRate: r.GaugeVec("bonsai_cache_hit_rate",
+			"served / (served + misses).", "tenant"),
+		cacheEvictions: r.GaugeVec("bonsai_cache_evictions_total",
+			"Entries evicted under memory pressure.", "tenant"),
+		cacheLive: r.GaugeVec("bonsai_cache_live_bytes",
+			"Retained abstraction bytes.", "tenant"),
+		cachePeak: r.GaugeVec("bonsai_cache_peak_bytes",
+			"High-water retained abstraction bytes.", "tenant"),
+		adopted: r.GaugeVec("bonsai_adopted_total",
+			"Abstractions carried across incremental updates.", "tenant"),
+		invalidated: r.CounterVec("bonsai_invalidated_total",
+			"Cached classes invalidated by applied deltas.", "tenant"),
+		adoptionRatio: r.GaugeVec("bonsai_adoption_ratio",
+			"adopted / (adopted + invalidated) across the engine's lifetime.", "tenant"),
+		nsPerClass: r.GaugeVec("bonsai_compress_ns_per_class",
+			"Mean wall-clock nanoseconds per compressed class.", "tenant"),
+		coalesceRatio: r.GaugeVec("bonsai_coalesce_ratio",
+			"Delta edits received / applied across replay streams.", "tenant"),
+
+		poolLive: r.Gauge("bonsai_pool_live_bytes",
+			"Shared pool: retained abstraction bytes across all tenants."),
+		poolPeak: r.Gauge("bonsai_pool_peak_bytes",
+			"Shared pool: high-water retained bytes."),
+		poolCeiling: r.Gauge("bonsai_pool_ceiling_bytes",
+			"Shared pool: configured global budget."),
+		poolCross: r.Gauge("bonsai_pool_cross_evictions_total",
+			"Shared pool: entries evicted by cross-tenant pressure."),
+
+		schedItems: r.Gauge("bonsai_sched_items_total",
+			"Work items executed by the compression scheduler."),
+		schedSteals: r.Gauge("bonsai_sched_steals_total",
+			"Tasks stolen between scheduler shards."),
+		schedFollowers: r.Gauge("bonsai_sched_followers_total",
+			"Classes that waited for a fingerprint-group leader."),
+	}
+	return m
+}
+
+// dropTenant removes a closed tenant's series.
+func (m *metricSet) dropTenant(name string) {
+	for _, v := range []*metrics.GaugeVec{
+		m.inflight, m.queueDepth, m.cacheServed, m.cacheMisses, m.cacheHitRate,
+		m.cacheEvictions, m.cacheLive, m.cachePeak, m.adopted, m.adoptionRatio,
+		m.nsPerClass, m.coalesceRatio,
+	} {
+		v.Delete(name)
+	}
+}
+
+// collect refreshes scrape-time gauges from the live tenants, the pool and
+// the scheduler, then renders the registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.reg.mu.Lock()
+	tenants := make([]*tenant, 0, len(s.reg.tenants))
+	for _, t := range s.reg.tenants {
+		if t != nil {
+			tenants = append(tenants, t)
+		}
+	}
+	s.reg.mu.Unlock()
+
+	for _, t := range tenants {
+		st := t.eng.Stats()
+		m := s.metrics
+		m.cacheServed.With(t.name).Set(float64(st.Served))
+		m.cacheMisses.With(t.name).Set(float64(st.Misses))
+		if tot := st.Served + st.Misses; tot > 0 {
+			m.cacheHitRate.With(t.name).Set(float64(st.Served) / float64(tot))
+		}
+		m.cacheEvictions.With(t.name).Set(float64(st.Evictions))
+		m.cacheLive.With(t.name).Set(float64(st.LiveBytes))
+		m.cachePeak.With(t.name).Set(float64(st.PeakBytes))
+		m.adopted.With(t.name).Set(float64(st.Adopted))
+		if inv := m.invalidated.With(t.name).Value(); st.Adopted > 0 || inv > 0 {
+			m.adoptionRatio.With(t.name).Set(float64(st.Adopted) / (float64(st.Adopted) + float64(inv)))
+		}
+		if cls := t.compressClasses.Load(); cls > 0 {
+			m.nsPerClass.With(t.name).Set(float64(t.compressNs.Load()) / float64(cls))
+		}
+		if applied := t.editsApplied.Load(); applied > 0 {
+			m.coalesceRatio.With(t.name).Set(float64(t.editsReceived.Load()) / float64(applied))
+		}
+		m.queueDepth.With(t.name).Set(float64(len(t.applyCh)))
+	}
+	if s.pool != nil {
+		ps := s.pool.Stats()
+		s.metrics.poolLive.Set(float64(ps.LiveBytes))
+		s.metrics.poolPeak.Set(float64(ps.PeakBytes))
+		s.metrics.poolCeiling.Set(float64(ps.CeilingBytes))
+		s.metrics.poolCross.Set(float64(ps.CrossEvictions))
+	}
+	sc := sched.GlobalStats()
+	s.metrics.schedItems.Set(float64(sc.Items))
+	s.metrics.schedSteals.Set(float64(sc.Steals))
+	s.metrics.schedFollowers.Set(float64(sc.Followers))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// recordApply folds an apply/replay outcome into the per-tenant counters.
+func (m *metricSet) recordApply(t *tenant, rep *bonsai.ApplyReport) {
+	if rep == nil {
+		return
+	}
+	m.invalidated.With(t.name).Add(int64(rep.Invalidated))
+}

@@ -1,0 +1,300 @@
+// The tenant registry: named engines with lifecycle management. Each tenant
+// wraps one bonsai.Engine plus its admission state — a concurrent-query
+// semaphore and a bounded apply queue drained by a dedicated worker — and
+// the registry owns open (attach to the shared pool), idle eviction (a
+// janitor closes tenants unused past the TTL) and close-on-drain (shutdown
+// stops admitting, waits for in-flight work, then closes every engine).
+package server
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bonsai"
+)
+
+// Errors the HTTP layer maps to status codes.
+var (
+	ErrTenantExists   = errors.New("server: tenant already exists")
+	ErrTenantNotFound = errors.New("server: no such tenant")
+	ErrDraining       = errors.New("server: draining")
+	ErrTooManyTenants = errors.New("server: tenant limit reached")
+	// ErrQueryBusy: the tenant's concurrent-query quota is exhausted (429).
+	ErrQueryBusy = errors.New("server: tenant query quota exhausted")
+	// ErrApplyQueueFull: the tenant's bounded apply queue is full (503).
+	ErrApplyQueueFull = errors.New("server: apply queue full")
+)
+
+// tenant is one named engine with its admission state.
+type tenant struct {
+	name string
+	eng  *bonsai.Engine
+
+	// queries is the concurrent-query semaphore (admission control).
+	queries chan struct{}
+	// applyCh is the bounded apply queue; applyDone closes when the worker
+	// exits. applyMu serialises replay streams with the queue worker so a
+	// replay observes a quiet apply path.
+	applyCh   chan applyReq
+	applyDone chan struct{}
+	replayMu  sync.Mutex
+
+	// lastUsed is a unix-nano timestamp of the last admitted request, for
+	// idle eviction.
+	lastUsed atomic.Int64
+
+	// closed marks the tenant evicted/deleted; requests admitted after this
+	// observe it and 404 rather than racing the engine teardown.
+	closed atomic.Bool
+
+	// applyActive reports the worker is processing a dequeued delta — the
+	// true queue occupancy is len(applyCh) plus this.
+	applyActive atomic.Bool
+
+	// Aggregates for /metrics: compression work (ns/class), coalescing.
+	compressClasses atomic.Int64
+	compressNs      atomic.Int64
+	editsReceived   atomic.Int64
+	editsApplied    atomic.Int64
+}
+
+type applyReq struct {
+	ctx  context.Context
+	d    bonsai.Delta
+	resp chan applyResp
+}
+
+type applyResp struct {
+	rep *bonsai.ApplyReport
+	err error
+}
+
+func (t *tenant) touch() { t.lastUsed.Store(time.Now().UnixNano()) }
+
+// acquireQuery admits one query or fails fast with ErrQueryBusy.
+func (t *tenant) acquireQuery() error {
+	select {
+	case t.queries <- struct{}{}:
+		if t.closed.Load() {
+			<-t.queries
+			return ErrTenantNotFound
+		}
+		t.touch()
+		return nil
+	default:
+		return ErrQueryBusy
+	}
+}
+
+func (t *tenant) releaseQuery() { <-t.queries }
+
+// applyWorker drains the bounded apply queue, one delta at a time — the
+// queue depth is the backpressure bound the HTTP layer admits against.
+func (t *tenant) applyWorker() {
+	defer close(t.applyDone)
+	for req := range t.applyCh {
+		t.applyActive.Store(true)
+		t.replayMu.Lock()
+		rep, err := t.eng.Apply(req.ctx, req.d)
+		t.replayMu.Unlock()
+		t.applyActive.Store(false)
+		req.resp <- applyResp{rep, err}
+	}
+}
+
+// enqueueApply admits a delta into the bounded queue (ErrApplyQueueFull on
+// overload) and waits for its report.
+func (t *tenant) enqueueApply(ctx context.Context, d bonsai.Delta) (*bonsai.ApplyReport, error) {
+	if t.closed.Load() {
+		return nil, ErrTenantNotFound
+	}
+	req := applyReq{ctx: ctx, d: d, resp: make(chan applyResp, 1)}
+	select {
+	case t.applyCh <- req:
+		t.touch()
+	default:
+		return nil, ErrApplyQueueFull
+	}
+	select {
+	case r := <-req.resp:
+		return r.rep, r.err
+	case <-ctx.Done():
+		// The worker will still run the delta (it owns the request now) and
+		// the buffered resp channel keeps it from blocking.
+		return nil, ctx.Err()
+	}
+}
+
+// registry is the named-tenant table.
+type registry struct {
+	cfg  Config
+	pool *bonsai.SharedPool
+
+	mu       sync.Mutex
+	tenants  map[string]*tenant
+	draining bool
+
+	// inflight counts admitted requests across all tenants; drain waits on
+	// it after refusing new admissions.
+	inflight sync.WaitGroup
+}
+
+func newRegistry(cfg Config, pool *bonsai.SharedPool) *registry {
+	return &registry{cfg: cfg, pool: pool, tenants: make(map[string]*tenant)}
+}
+
+// open creates a tenant over net, attaching its engine to the shared pool.
+func (r *registry) open(name string, net *bonsai.Network) (*tenant, error) {
+	r.mu.Lock()
+	if r.draining {
+		r.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if _, ok := r.tenants[name]; ok {
+		r.mu.Unlock()
+		return nil, ErrTenantExists
+	}
+	if r.cfg.MaxTenants > 0 && len(r.tenants) >= r.cfg.MaxTenants {
+		r.mu.Unlock()
+		return nil, ErrTooManyTenants
+	}
+	// Reserve the name before the (slow) engine build so concurrent opens
+	// of the same name fail fast instead of racing.
+	r.tenants[name] = nil
+	r.mu.Unlock()
+
+	opts := append([]bonsai.Option(nil), r.cfg.EngineOptions...)
+	if r.pool != nil {
+		opts = append(opts, bonsai.WithSharedPool(r.pool, r.cfg.TenantFloor, name))
+	}
+	eng, err := bonsai.Open(net, opts...)
+	if err != nil {
+		r.mu.Lock()
+		delete(r.tenants, name)
+		r.mu.Unlock()
+		return nil, err
+	}
+	t := &tenant{
+		name:      name,
+		eng:       eng,
+		queries:   make(chan struct{}, max(1, r.cfg.MaxQueriesPerTenant)),
+		applyCh:   make(chan applyReq, max(1, r.cfg.ApplyQueueDepth)),
+		applyDone: make(chan struct{}),
+	}
+	t.touch()
+	go t.applyWorker()
+	r.mu.Lock()
+	r.tenants[name] = t
+	r.mu.Unlock()
+	return t, nil
+}
+
+// get looks a tenant up; opening-in-progress (nil) reads as not found.
+func (r *registry) get(name string) (*tenant, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[name]
+	if !ok || t == nil {
+		return nil, ErrTenantNotFound
+	}
+	return t, nil
+}
+
+// names lists tenants in sorted order.
+func (r *registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.tenants))
+	for n, t := range r.tenants {
+		if t != nil {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// close removes and closes one tenant. The engine close waits for nothing:
+// bonsai.Engine.Close lets in-flight queries finish against their snapshot.
+func (r *registry) close(name string) error {
+	r.mu.Lock()
+	t, ok := r.tenants[name]
+	if !ok || t == nil {
+		r.mu.Unlock()
+		return ErrTenantNotFound
+	}
+	delete(r.tenants, name)
+	r.mu.Unlock()
+	t.closed.Store(true)
+	close(t.applyCh)
+	<-t.applyDone
+	return t.eng.Close()
+}
+
+// idleNames lists tenants idle past ttl; the caller closes them (and drops
+// their metric series).
+func (r *registry) idleNames(ttl time.Duration) []string {
+	if ttl <= 0 {
+		return nil
+	}
+	cut := time.Now().Add(-ttl).UnixNano()
+	var idle []string
+	r.mu.Lock()
+	for n, t := range r.tenants {
+		if t != nil && t.lastUsed.Load() < cut {
+			idle = append(idle, n)
+		}
+	}
+	r.mu.Unlock()
+	return idle
+}
+
+// drain stops admitting (every subsequent admission fails with
+// ErrDraining), waits for in-flight requests, then closes every tenant.
+func (r *registry) drain() {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+	r.inflight.Wait()
+	for _, n := range r.names() {
+		r.close(n)
+	}
+}
+
+// admit registers one in-flight request; callers pair it with done().
+// It fails during drain so the inflight count is strictly decreasing then.
+func (r *registry) admit() (done func(), err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, ErrDraining
+	}
+	r.inflight.Add(1)
+	return func() { r.inflight.Done() }, nil
+}
+
+// TenantInfo is the wire shape of one tenant listing.
+type TenantInfo struct {
+	Name    string             `json:"name"`
+	Network bonsai.NetworkInfo `json:"network"`
+	Cache   bonsai.CacheStats  `json:"cache"`
+}
+
+func (r *registry) info(t *tenant) TenantInfo {
+	net := t.eng.Network()
+	return TenantInfo{
+		Name: t.name,
+		Network: bonsai.NetworkInfo{
+			Name:       net.Name,
+			Routers:    len(net.Routers),
+			Links:      len(net.Links),
+			Interfaces: net.NumInterfaces(),
+			Classes:    len(t.eng.Classes()),
+		},
+		Cache: t.eng.Stats(),
+	}
+}

@@ -1,6 +1,10 @@
 package bonsai
 
-import "runtime"
+import (
+	"runtime"
+
+	"bonsai/internal/build"
+)
 
 // options collects the Engine's tunables; Open applies functional Options
 // over the defaults.
@@ -11,6 +15,9 @@ type options struct {
 	bddCacheBits int
 	maxClasses   int
 	memBudget    int64
+	pool         *build.Pool
+	poolFloor    int64
+	poolLabel    string
 }
 
 func defaultOptions() options {
@@ -68,6 +75,23 @@ func WithShards(n int) Option {
 // shard. Zero (the default) means unbounded retention.
 func WithMemoryBudget(bytes int64) Option {
 	return func(o *options) { o.memBudget = bytes }
+}
+
+// WithSharedPool attaches the engine's abstraction store to a shared
+// cross-engine memory pool (see NewSharedPool): the pool's global ceiling
+// bounds the *sum* of all attached engines' retained abstraction bytes,
+// shedding least-recently-used entries from the engine furthest over its
+// floor when the total overflows. floor bytes are guaranteed to this engine
+// — cross-engine pressure never evicts below it (the engine's own
+// WithMemoryBudget still may). label identifies the engine in pool stats;
+// empty defaults to the network name. The attachment follows the engine
+// across Apply snapshots and is released by Close.
+func WithSharedPool(p *SharedPool, floor int64, label string) Option {
+	return func(o *options) {
+		o.pool = p
+		o.poolFloor = floor
+		o.poolLabel = label
+	}
 }
 
 func (o options) workerCount() int {

@@ -1,0 +1,23 @@
+package bonsai
+
+import "bonsai/internal/build"
+
+// SharedPool is a global memory budget shared by several Engines: the sum of
+// all attached engines' retained abstraction bytes is bounded by one
+// ceiling, with least-recently-used entries shed from the engine furthest
+// over its guaranteed floor when the total overflows. A multi-tenant server
+// attaches every tenant's engine to one pool (WithSharedPool) so a churning
+// tenant reclaims memory from its own cache — and then from neighbors above
+// their floors — instead of growing the process without bound. Eviction is
+// always safe: an evicted class reads as cold and recomputes on its next
+// query.
+type SharedPool = build.Pool
+
+// SharedPoolStats is a snapshot of a SharedPool: global live/peak/ceiling
+// bytes, cross-engine eviction counters, and per-member shares.
+type SharedPoolStats = build.PoolStats
+
+// NewSharedPool creates a pool with the given global byte ceiling. A
+// ceiling <= 0 disables eviction: the pool still aggregates accounting
+// (useful for metrics) but never sheds.
+func NewSharedPool(ceiling int64) *SharedPool { return build.NewPool(ceiling) }

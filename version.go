@@ -1,0 +1,71 @@
+package bonsai
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// VersionInfo describes the running build of the bonsai module, assembled
+// from the binary's embedded build metadata (debug.ReadBuildInfo). All
+// binaries in this repository expose it via a -version flag, and bonsaid
+// serves it at GET /version.
+type VersionInfo struct {
+	// Module is the module path; Version its resolved module version
+	// ("(devel)" for a working-tree build).
+	Module  string `json:"module"`
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Revision and Time are the VCS commit and its timestamp, when the
+	// build embedded them; Dirty reports uncommitted local changes.
+	Revision string `json:"revision,omitempty"`
+	Time     string `json:"time,omitempty"`
+	Dirty    bool   `json:"dirty,omitempty"`
+}
+
+// Version reports the running build's metadata. It degrades gracefully: a
+// binary built without module or VCS stamping still reports the toolchain.
+func Version() VersionInfo {
+	v := VersionInfo{Module: "bonsai", Version: "(devel)", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return v
+	}
+	if bi.Main.Path != "" {
+		v.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		v.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		v.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			v.Revision = s.Value
+		case "vcs.time":
+			v.Time = s.Value
+		case "vcs.modified":
+			v.Dirty = s.Value == "true"
+		}
+	}
+	return v
+}
+
+// String renders the info on one line, the way -version flags print it.
+func (v VersionInfo) String() string {
+	s := fmt.Sprintf("%s %s (%s", v.Module, v.Version, v.GoVersion)
+	if v.Revision != "" {
+		rev := v.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", " + rev
+		if v.Dirty {
+			s += "+dirty"
+		}
+	}
+	return s + ")"
+}
