@@ -216,6 +216,7 @@ func (c *Client) CompressStream(ctx context.Context, name string, sel bonsai.Cla
 		var msg struct {
 			Row    *bonsai.ClassResult    `json:"row"`
 			Report *bonsai.CompressReport `json:"report"`
+			Error  string                 `json:"error"`
 		}
 		if err := dec.Decode(&msg); err != nil {
 			if err == io.EOF {
@@ -228,6 +229,10 @@ func (c *Client) CompressStream(ctx context.Context, name string, sel bonsai.Cla
 		}
 		if msg.Report != nil {
 			rep = msg.Report
+		}
+		if msg.Error != "" {
+			// The trailer flags a stream truncated by an engine error.
+			return rep, fmt.Errorf("server: compress stream failed: %s", msg.Error)
 		}
 	}
 	if rep == nil {

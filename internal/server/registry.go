@@ -37,11 +37,14 @@ type tenant struct {
 	// queries is the concurrent-query semaphore (admission control).
 	queries chan struct{}
 	// applyCh is the bounded apply queue; applyDone closes when the worker
-	// exits. applyMu serialises replay streams with the queue worker so a
-	// replay observes a quiet apply path.
+	// exits. replayMu serialises replay streams with the queue worker so a
+	// replay observes a quiet apply path. closeMu guards the closed-check +
+	// send in enqueueApply against close(applyCh): writers hold it shared,
+	// close holds it exclusive, so a send can never follow the close.
 	applyCh   chan applyReq
 	applyDone chan struct{}
 	replayMu  sync.Mutex
+	closeMu   sync.RWMutex
 
 	// lastUsed is a unix-nano timestamp of the last admitted request, for
 	// idle eviction.
@@ -99,7 +102,10 @@ func (t *tenant) applyWorker() {
 	for req := range t.applyCh {
 		t.applyActive.Store(true)
 		t.replayMu.Lock()
-		rep, err := t.eng.Apply(req.ctx, req.d)
+		// Detached context: once admitted, a queued delta always lands even
+		// if the enqueuing client times out — dropping it silently would let
+		// the client's view of the network diverge from the engine's.
+		rep, err := t.eng.Apply(context.WithoutCancel(req.ctx), req.d)
 		t.replayMu.Unlock()
 		t.applyActive.Store(false)
 		req.resp <- applyResp{rep, err}
@@ -109,24 +115,43 @@ func (t *tenant) applyWorker() {
 // enqueueApply admits a delta into the bounded queue (ErrApplyQueueFull on
 // overload) and waits for its report.
 func (t *tenant) enqueueApply(ctx context.Context, d bonsai.Delta) (*bonsai.ApplyReport, error) {
+	req := applyReq{ctx: ctx, d: d, resp: make(chan applyResp, 1)}
+	t.closeMu.RLock()
 	if t.closed.Load() {
+		t.closeMu.RUnlock()
 		return nil, ErrTenantNotFound
 	}
-	req := applyReq{ctx: ctx, d: d, resp: make(chan applyResp, 1)}
 	select {
 	case t.applyCh <- req:
+		t.closeMu.RUnlock()
 		t.touch()
 	default:
+		t.closeMu.RUnlock()
 		return nil, ErrApplyQueueFull
 	}
 	select {
 	case r := <-req.resp:
 		return r.rep, r.err
 	case <-ctx.Done():
-		// The worker will still run the delta (it owns the request now) and
-		// the buffered resp channel keeps it from blocking.
+		// The worker still runs the delta (it owns the request now, with a
+		// detached context) and the buffered resp channel keeps it from
+		// blocking; only the wait is abandoned.
 		return nil, ctx.Err()
 	}
+}
+
+// busy reports in-flight work: admitted queries, queued or executing
+// deltas, or a replay holding replayMu. The janitor skips busy tenants so
+// a stream longer than IdleTTL is never evicted mid-flight.
+func (t *tenant) busy() bool {
+	if len(t.queries) > 0 || t.applyActive.Load() || len(t.applyCh) > 0 {
+		return true
+	}
+	if !t.replayMu.TryLock() {
+		return true
+	}
+	t.replayMu.Unlock()
+	return false
 }
 
 // registry is the named-tenant table.
@@ -229,14 +254,20 @@ func (r *registry) close(name string) error {
 	}
 	delete(r.tenants, name)
 	r.mu.Unlock()
+	// Exclusive closeMu excludes enqueueApply's closed-check + send, so no
+	// send can race the close below and panic the daemon.
+	t.closeMu.Lock()
 	t.closed.Store(true)
 	close(t.applyCh)
+	t.closeMu.Unlock()
 	<-t.applyDone
 	return t.eng.Close()
 }
 
 // idleNames lists tenants idle past ttl; the caller closes them (and drops
-// their metric series).
+// their metric series). Tenants with in-flight work are never idle, however
+// stale their lastUsed stamp — closing one would block the janitor behind
+// its replayMu and tear the engine down under live requests.
 func (r *registry) idleNames(ttl time.Duration) []string {
 	if ttl <= 0 {
 		return nil
@@ -245,7 +276,7 @@ func (r *registry) idleNames(ttl time.Duration) []string {
 	var idle []string
 	r.mu.Lock()
 	for n, t := range r.tenants {
-		if t != nil && t.lastUsed.Load() < cut {
+		if t != nil && t.lastUsed.Load() < cut && !t.busy() {
 			idle = append(idle, n)
 		}
 	}

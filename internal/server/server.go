@@ -304,21 +304,29 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	deltas := make(chan bonsai.Delta)
 	dec := json.NewDecoder(r.Body)
 	decErr := make(chan error, 1)
+	// streamDone unblocks the decoder if ApplyStream returns without
+	// draining deltas (engine closed mid-stream via DELETE or eviction), so
+	// the handler never wedges on decErr below. Deferred closes run LIFO:
+	// decErr settles before deltas closes, so a completed stream implies a
+	// settled decErr.
+	streamDone := make(chan struct{})
 	go func() {
 		defer close(deltas)
+		defer close(decErr)
 		for {
 			var d bonsai.Delta
 			if err := dec.Decode(&d); err != nil {
 				if !errors.Is(err, io.EOF) {
 					decErr <- err
 				}
-				close(decErr)
 				return
 			}
 			select {
 			case deltas <- d:
+				t.touch() // a replay outlasting IdleTTL is use, not idleness
+			case <-streamDone:
+				return
 			case <-r.Context().Done():
-				close(decErr)
 				return
 			}
 		}
@@ -330,8 +338,18 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	t.replayMu.Lock()
 	rep, aerr := t.eng.ApplyStream(r.Context(), deltas, opts...)
 	t.replayMu.Unlock()
-	if derr := <-decErr; derr != nil && aerr == nil {
-		aerr = fmt.Errorf("%w: decoding delta stream: %v", errBadRequest, derr)
+	close(streamDone)
+	if aerr == nil {
+		// A nil stream error means ApplyStream consumed deltas to close, so
+		// the decoder already exited and decErr is settled; the non-blocking
+		// read is belt-and-braces against future early-nil returns.
+		select {
+		case derr := <-decErr:
+			if derr != nil {
+				aerr = fmt.Errorf("%w: decoding delta stream: %v", errBadRequest, derr)
+			}
+		default:
+		}
 	}
 	if rep != nil {
 		t.editsReceived.Add(int64(rep.EditsReceived))
@@ -372,14 +390,18 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request, t *tenan
 		return
 	}
 	if r.URL.Query().Get("stream") != "" {
-		// NDJSON: one {"row":...} per completed class, then {"report":...}.
+		// NDJSON: one {"row":...} per completed class, then a {"report":...}
+		// trailer that carries any stream error so a truncated stream is
+		// distinguishable from a completed one.
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
 		fl, _ := w.(http.Flusher)
+		rows := 0
 		for row := range st.Results() {
 			if enc.Encode(map[string]any{"row": row}) != nil {
 				break // client gone; the range-break path cancels the stream
 			}
+			rows++
 			if fl != nil {
 				fl.Flush()
 			}
@@ -387,10 +409,15 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request, t *tenan
 		rep := st.Report()
 		t.compressClasses.Add(int64(rep.ClassesCompressed))
 		t.compressNs.Add(int64(rep.Duration))
-		if st.Err() != nil && rep.ClassesCompressed == 0 {
-			return // nothing delivered; headers already sent, just stop
+		if err := st.Err(); err != nil && rows == 0 {
+			s.httpError(w, err) // nothing written yet: full error response
+			return
 		}
-		enc.Encode(map[string]any{"report": rep})
+		trailer := map[string]any{"report": rep}
+		if err := st.Err(); err != nil {
+			trailer["error"] = err.Error()
+		}
+		enc.Encode(trailer)
 		return
 	}
 	for range st.Results() {

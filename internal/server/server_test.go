@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -448,5 +449,49 @@ func TestServerIdleEviction(t *testing.T) {
 	}
 	if _, err := c.Stats(context.Background(), "net"); StatusCode(err) != http.StatusNotFound {
 		t.Fatalf("idle tenant still present: %v", err)
+	}
+}
+
+// TestRegistryApplyCloseRace hammers enqueueApply against a concurrent
+// close. A send must never land on the closed apply channel (it would
+// panic the whole daemon), and every enqueue must resolve to a report or
+// a clean tenant/queue error; run with -race.
+func TestRegistryApplyCloseRace(t *testing.T) {
+	noop := bonsai.Delta{LinkUp: []bonsai.LinkRef{{A: "r-0000", B: "r-0001"}}}
+	for round := 0; round < 5; round++ {
+		reg := newRegistry(Config{MaxQueriesPerTenant: 4, ApplyQueueDepth: 4}, nil)
+		tn, err := reg.open("race", netgen.FullMesh(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for j := 0; j < 25; j++ {
+					_, err := tn.enqueueApply(context.Background(), noop)
+					if errors.Is(err, ErrTenantNotFound) {
+						return // closed under us: the expected clean outcome
+					}
+					if err != nil && !errors.Is(err, ErrApplyQueueFull) {
+						t.Errorf("enqueue: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := reg.close("race"); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}()
+		close(start)
+		wg.Wait()
 	}
 }
