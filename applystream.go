@@ -102,6 +102,27 @@ type ApplyStreamReport struct {
 	Duration     time.Duration `json:"duration_ns"`
 }
 
+// ApplyAll replays a recorded delta sequence through the coalescing stream
+// path and returns its report. It is the recovery entry point: a journal
+// tail re-applied as one burst gets the same coalescing as the live stream
+// that wrote it, so a flap storm that crashed mid-burst still cancels out on
+// recovery instead of being replayed flap by flap. Invalid deltas are
+// counted and skipped exactly as ApplyStream does, which keeps a replayed
+// history deterministic: a delta rejected live is rejected again on every
+// recovery.
+func (e *Engine) ApplyAll(ctx context.Context, deltas []Delta, opts ...StreamApplyOption) (*ApplyStreamReport, error) {
+	// The whole sequence is in hand, so hand it to the coalescer in one
+	// fully-buffered burst. An unbuffered feed would let the drain-flush
+	// fire between single sends, degrading a 10k-delta journal tail into
+	// ~10k rebuilds instead of one coalesced batch.
+	ch := make(chan Delta, len(deltas))
+	for _, d := range deltas {
+		ch <- d
+	}
+	close(ch)
+	return e.ApplyStream(ctx, ch, opts...)
+}
+
 // ApplyStream consumes configuration deltas from a channel until it closes,
 // coalescing queued deltas into canonical batches (a flap's LinkDown +
 // LinkUp cancels before any invalidation; route-map, prefix-list and origin

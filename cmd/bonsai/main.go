@@ -65,7 +65,7 @@ func usage() {
   simulate  -f FILE -dest PREFIX [-json]
   verify    -f FILE [-src ROUTER -dest PREFIX] [-all-pairs] [-bonsai] [-per-pair] [-json]
   roles     -f FILE [-no-erase] [-no-statics] [-json]
-  replay    -f FILE -log DELTAS.jsonl [-pending N] [-staleness DUR] [-cold] [-v] [-json]
+  replay    -f FILE -log DELTAS.jsonl [-pending N] [-staleness DUR] [-resume-from N] [-cold] [-v] [-json]
   version   print build metadata
 
 Engine subcommands also accept -server URL -tenant NAME to run as a thin

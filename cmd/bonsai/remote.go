@@ -66,8 +66,11 @@ func remoteCompress(ctx context.Context, ef engineFlags, c *server.Client, tenan
 }
 
 // remoteReplay pipes the JSONL log through POST /replay, letting the
-// daemon's ingest backpressure pace the upload.
-func remoteReplay(ctx context.Context, ef engineFlags, c *server.Client, tenant, logPath string, pending int, staleness time.Duration, cold bool) error {
+// daemon's ingest backpressure pace the upload. resumeFrom skips the first N
+// deltas of the log — the prefix a previous aborted replay already got
+// acknowledged (a durable daemon journals each delta before applying it, so
+// the acknowledged prefix survives even a daemon crash).
+func remoteReplay(ctx context.Context, ef engineFlags, c *server.Client, tenant, logPath string, pending int, staleness time.Duration, cold bool, resumeFrom int64) error {
 	if !cold {
 		if _, err := c.Compress(ctx, tenant, bonsai.ClassSelector{}); err != nil {
 			return err
@@ -88,11 +91,14 @@ func remoteReplay(ctx context.Context, ef engineFlags, c *server.Client, tenant,
 	go func() {
 		sc := bufio.NewScanner(in)
 		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-		line := 0
+		line, nth := 0, int64(0)
 		for sc.Scan() {
 			line++
 			raw := sc.Bytes()
 			if len(raw) == 0 || raw[0] == '#' {
+				continue
+			}
+			if nth++; nth <= resumeFrom {
 				continue
 			}
 			if !json.Valid(raw) {
@@ -107,6 +113,7 @@ func remoteReplay(ctx context.Context, ef engineFlags, c *server.Client, tenant,
 	}()
 	rep, err := c.Replay(ctx, tenant, pr, pending, staleness)
 	if err != nil {
+		reportLastAcked(ctx, c, tenant, err)
 		return err
 	}
 	if done, err := ef.emit(rep); done {
@@ -114,4 +121,22 @@ func remoteReplay(ctx context.Context, ef engineFlags, c *server.Client, tenant,
 	}
 	printReplayReport(rep)
 	return nil
+}
+
+// reportLastAcked runs after a failed replay stream: it asks the daemon how
+// far the tenant's journal got so the operator can resume the log without
+// re-sending the acknowledged prefix. Best-effort — if the daemon is down
+// (the usual reason the stream died), it says so and the operator restarts
+// the daemon first; its recovery replays the journal, and /stats then
+// reports the same sequence.
+func reportLastAcked(ctx context.Context, c *server.Client, tenant string, cause error) {
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	st, err := c.Stats(sctx, tenant)
+	if err != nil || st.Journal == nil {
+		fmt.Fprintf(os.Stderr, "replay: stream failed (%v); daemon unreachable or tenant not durable — after it is back, check journal seq in /stats and rerun with -resume-from\n", cause)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "replay: stream failed (%v); daemon acknowledged %d deltas (journal seq %d, applied %d) — rerun with -resume-from %d\n",
+		cause, st.Journal.LastSeq, st.Journal.LastSeq, st.Journal.AppliedSeq, st.Journal.LastSeq)
 }

@@ -26,16 +26,20 @@ func cmdReplay(args []string) error {
 	pending := fs.Int("pending", 0, "flush a batch once this many deltas are queued (0 = unbounded)")
 	staleness := fs.Duration("staleness", 0, "gather a batch for at most this long (0 = flush when the log drains)")
 	cold := fs.Bool("cold", false, "skip the warm-up compression (adoption counters will read zero)")
+	resumeFrom := fs.Int64("resume-from", 0, "skip the first N deltas of the log — the prefix a prior aborted replay already got acknowledged (see the -resume-from hint it printed)")
 	verbose := fs.Bool("v", false, "print one line per applied batch")
 	fs.Parse(args)
 	if *logPath == "" {
 		return fmt.Errorf("replay: -log required")
 	}
+	if *resumeFrom < 0 {
+		return fmt.Errorf("replay: -resume-from must be >= 0")
+	}
 	ctx := context.Background()
 	if c, tenant, ok, err := ef.remote(ctx); err != nil {
 		return err
 	} else if ok {
-		return remoteReplay(ctx, ef, c, tenant, *logPath, *pending, *staleness, *cold)
+		return remoteReplay(ctx, ef, c, tenant, *logPath, *pending, *staleness, *cold, *resumeFrom)
 	}
 	eng, err := ef.open()
 	if err != nil {
@@ -70,11 +74,14 @@ func cmdReplay(args []string) error {
 		defer close(deltas)
 		sc := bufio.NewScanner(in)
 		sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
-		line := 0
+		line, nth := 0, int64(0)
 		for sc.Scan() {
 			line++
 			raw := sc.Bytes()
 			if len(raw) == 0 || raw[0] == '#' {
+				continue
+			}
+			if nth++; nth <= *resumeFrom {
 				continue
 			}
 			var d bonsai.Delta

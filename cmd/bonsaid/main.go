@@ -5,7 +5,13 @@
 // tenant from starving the rest. SIGTERM/SIGINT trigger a graceful drain:
 // new requests get 503, in-flight work finishes, every engine closes.
 //
+// With -data-dir, tenants are durable: every admitted delta is journaled
+// (fsync policy via -fsync) before it is applied, checkpoints truncate the
+// journal (-checkpoint-every), and a restart over the same data dir recovers
+// every tenant from checkpoint + journal tail — kill -9 included.
+//
 //	bonsaid -addr :7171 -budget-mb 2048 -floor-mb 64 -max-queries 8
+//	bonsaid -addr :7171 -data-dir /var/lib/bonsaid -fsync interval
 //	curl -X PUT --data-binary @net.txt localhost:7171/v1/tenants/prod
 //	curl 'localhost:7171/v1/tenants/prod/reach?src=edge-1-1&dest=10.0.0.0/24'
 //	curl localhost:7171/metrics
@@ -21,12 +27,40 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"bonsai"
+	"bonsai/internal/faultinject"
+	"bonsai/internal/journal"
 	"bonsai/internal/server"
 )
+
+// armCrashPoint wires the BONSAID_CRASH_POINT env hook used by the crash
+// gauntlet: "point@n" (e.g. "journal.fsync@3") SIGKILLs this process the
+// n-th time the named fault-injection seam fires — a faithful model of a
+// power-cut-shaped crash at exactly that point in the durability path. The
+// hook is inert unless the variable is set, so production pays one env
+// lookup at startup and nothing after.
+func armCrashPoint(spec string) {
+	point, nth := spec, int64(1)
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		point = spec[:at]
+		n, err := strconv.ParseInt(spec[at+1:], 10, 64)
+		if err != nil || n < 1 {
+			log.Fatalf("bonsaid: bad BONSAID_CRASH_POINT %q: want point[@n]", spec)
+		}
+		nth = n
+	}
+	faultinject.Arm(faultinject.Point(point), faultinject.OnNth(nth, func(string) {
+		// SIGKILL self: no deferred cleanup, no flushes — the kernel takes
+		// the process exactly as a crash would find it.
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // never runs past the kill
+	}))
+}
 
 func main() {
 	addr := flag.String("addr", ":7171", "listen address")
@@ -37,12 +71,23 @@ func main() {
 	applyQueue := flag.Int("apply-queue", 16, "bounded apply-queue depth per tenant (excess get 503)")
 	idleTTL := flag.Duration("idle-ttl", 0, "close tenants idle this long (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "max wait for in-flight work on shutdown")
+	dataDir := flag.String("data-dir", "", "enable durability: per-tenant delta journals + checkpoints under this dir (empty = ephemeral)")
+	fsyncPolicy := flag.String("fsync", "always", "journal fsync policy: always | interval | never")
+	fsyncInterval := flag.Duration("fsync-interval", 100*time.Millisecond, "flush period for -fsync interval")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint a tenant once its journal tail reaches this many deltas (0 = default 4096, <0 = only on drain)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
 	if *version {
 		fmt.Println(bonsai.Version())
 		return
+	}
+	sync, err := journal.ParseSyncPolicy(*fsyncPolicy)
+	if err != nil {
+		log.Fatalf("bonsaid: %v", err)
+	}
+	if spec := os.Getenv("BONSAID_CRASH_POINT"); spec != "" {
+		armCrashPoint(spec)
 	}
 
 	s := server.New(server.Config{
@@ -52,6 +97,10 @@ func main() {
 		MaxQueriesPerTenant: *maxQueries,
 		ApplyQueueDepth:     *applyQueue,
 		IdleTTL:             *idleTTL,
+		DataDir:             *dataDir,
+		Fsync:               sync,
+		FsyncInterval:       *fsyncInterval,
+		CheckpointEvery:     *checkpointEvery,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s}
 
@@ -59,8 +108,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("bonsaid: listen: %v", err)
 	}
-	log.Printf("bonsaid %s listening on %s (budget %d MiB, floor %d MiB)",
-		bonsai.Version().GoVersion, ln.Addr(), *budgetMB, *floorMB)
+	durable := "ephemeral"
+	if *dataDir != "" {
+		durable = fmt.Sprintf("data-dir %s, fsync %s", *dataDir, sync)
+	}
+	log.Printf("bonsaid %s listening on %s (budget %d MiB, floor %d MiB, %s)",
+		bonsai.Version().GoVersion, ln.Addr(), *budgetMB, *floorMB, durable)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()

@@ -9,8 +9,11 @@
 package benchrun
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"slices"
 	"sync"
@@ -23,8 +26,10 @@ import (
 	"bonsai/internal/config"
 	"bonsai/internal/core"
 	"bonsai/internal/ec"
+	"bonsai/internal/journal"
 	"bonsai/internal/netgen"
 	"bonsai/internal/policy"
+	"bonsai/internal/server"
 	"bonsai/internal/verify"
 )
 
@@ -576,8 +581,164 @@ func Cases(smoke bool) []Case {
 	add(fmt.Sprintf("churn/fattree/nodes=%d/stream", churnNodes), ChurnStorm(genChurn, churnLinks, churnDeltas, true))
 	add(fmt.Sprintf("churn/fattree/nodes=%d/naive", churnNodes), ChurnStorm(genChurn, churnLinks, churnDeltas, false))
 
+	// Durability: the WAL's raw append cost per fsync policy, the daemon's
+	// full acked-apply path (validate + journal + fsync + apply), and crash
+	// recovery wall-clock versus journal tail length — the fsync trade-off
+	// and recovery-time tables in README/EXPERIMENTS come from these.
+	for _, sp := range []journal.SyncPolicy{journal.SyncAlways, journal.SyncInterval, journal.SyncNever} {
+		sp := sp
+		add(fmt.Sprintf("journal/append/fsync=%s", sp), JournalAppend(sp))
+		add(fmt.Sprintf("journal/acked-apply/fattree/nodes=%d/fsync=%s", applyNodes, sp),
+			AckedApply(genApply, sp))
+	}
+	recK, recTails := 40, []int{0, 10_000} // fattree-2000, the paper's scale
+	if smoke {
+		recK, recTails = 8, []int{0, 1000}
+	}
+	genRec := func() *config.Network { return netgen.Fattree(recK, netgen.PolicyShortestPath) }
+	for _, n := range recTails {
+		add(fmt.Sprintf("journal/recover/fattree/nodes=%d/tail=%d", 5*recK*recK/4, n),
+			RecoverTail(genRec, n))
+	}
+
 	add("bdd/adder64", BDDAdder(64))
 	return cs
+}
+
+// JournalAppend measures raw write-ahead journal throughput under one fsync
+// policy with a realistic single-flap delta payload. SyncAlways is the
+// power-loss-durable floor every acked apply pays; SyncNever is the
+// kill-9-durable ceiling.
+func JournalAppend(sync journal.SyncPolicy) func(b *testing.B) {
+	return func(b *testing.B) {
+		j, err := journal.Open(b.TempDir(), journal.Options{Sync: sync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer j.Close()
+		payload := []byte(`{"link_down":[{"a":"agg-1-0","b":"core-0"}]}`)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := j.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "appendsPerSec")
+	}
+}
+
+// AckedApply measures the daemon's end-to-end durable apply path over HTTP:
+// decode, validate, journal (with the policy's fsync), apply, ack.
+// Checkpointing is deferred to drain so the journal cost is not amortized
+// away mid-run.
+func AckedApply(gen func() *config.Network, sync journal.SyncPolicy) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		s := server.New(server.Config{DataDir: b.TempDir(), Fsync: sync, CheckpointEvery: -1})
+		defer s.Drain()
+		hs := httptest.NewServer(s)
+		defer hs.Close()
+		c := server.NewClient(hs.URL)
+		cfg := gen()
+		if err := c.OpenNetwork(ctx, "bench", cfg); err != nil {
+			b.Fatal(err)
+		}
+		l := []bonsai.LinkRef{{A: cfg.Links[0].A, B: cfg.Links[0].B}}
+		flap := [2]bonsai.Delta{{LinkDown: l}, {LinkUp: l}}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Apply(ctx, "bench", flap[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ackedPerSec")
+	}
+}
+
+// RecoverTail measures crash-recovery wall clock: load the checkpoint, parse
+// its config, open an engine, and replay a journal tail of the given length
+// through the coalescing stream path — exactly what the daemon does per
+// tenant at startup. tail=0 isolates the checkpoint-only cost; the tail
+// variant adds the journal read + decode + coalesced apply.
+func RecoverTail(gen func() *config.Network, tail int) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		dir := b.TempDir()
+		cfg := gen()
+		var cfgText bytes.Buffer
+		if err := bonsai.Print(&cfgText, cfg); err != nil {
+			b.Fatal(err)
+		}
+		j, err := journal.Open(dir, journal.Options{Sync: journal.SyncNever})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.WriteCheckpoint(0, cfgText.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+		nLinks := 100
+		if nLinks > len(cfg.Links) {
+			nLinks = len(cfg.Links)
+		}
+		for i := 0; i < tail; i++ {
+			l := []bonsai.LinkRef{{A: cfg.Links[i%nLinks].A, B: cfg.Links[i%nLinks].B}}
+			d := bonsai.Delta{LinkDown: l}
+			if (i/nLinks)%2 == 1 {
+				d = bonsai.Delta{LinkUp: l}
+			}
+			payload, err := json.Marshal(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := j.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ck, err := journal.LoadCheckpoint(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			net, err := bonsai.ParseString(string(ck.Payload))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := bonsai.Open(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var deltas []bonsai.Delta
+			if _, err := journal.ReplayDir(dir, ck.Seq, func(_ uint64, payload []byte) error {
+				var d bonsai.Delta
+				if err := json.Unmarshal(payload, &d); err != nil {
+					return err
+				}
+				deltas = append(deltas, d)
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			if len(deltas) > 0 {
+				if _, err := eng.ApplyAll(ctx, deltas); err != nil {
+					b.Fatal(err)
+				}
+			}
+			eng.Close()
+		}
+		b.StopTimer()
+		if tail > 0 {
+			b.ReportMetric(float64(tail)*float64(b.N)/b.Elapsed().Seconds(), "replayedPerSec")
+		}
+	}
 }
 
 // PeakHeap samples runtime.ReadMemStats on a fixed interval and records

@@ -27,6 +27,18 @@ const (
 	// ApplySwap fires after a delta's successor snapshot is fully built,
 	// just before the engine publishes it.
 	ApplySwap Point = "apply.swap"
+	// JournalAppend fires in journal.Append before the record is written;
+	// the key is the record's sequence number. A crash here loses the
+	// record entirely — it was never acknowledged.
+	JournalAppend Point = "journal.append"
+	// JournalFsync fires after a record is written, before fsync; the key
+	// is the newest appended sequence. A crash here leaves the record in
+	// the page cache: survives kill -9, exposed to power loss.
+	JournalFsync Point = "journal.fsync"
+	// CheckpointRename fires after the checkpoint temp file is written and
+	// fsynced, just before the atomic rename; the key is the checkpoint
+	// sequence. A crash here leaves the previous checkpoint in force.
+	CheckpointRename Point = "checkpoint.rename"
 )
 
 type hook struct {

@@ -1,0 +1,182 @@
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"bonsai/internal/faultinject"
+)
+
+// Checkpoint file layout (little-endian):
+//
+//	magic   "BONSCKP1" (8 bytes)
+//	u64     seq
+//	u64     payloadLen
+//	payload (the tenant's canonical network text)
+//	u32     crc32c(seq || payloadLen || payload)
+//	magic   "BONSCKPE" (8 bytes)
+//
+// The trailer is the commit record: a checkpoint missing its closing magic
+// or failing its CRC was interrupted mid-write and is never trusted. The
+// file only ever appears under its final name via rename, so a crash leaves
+// either the previous complete checkpoint or a stray .tmp that load
+// ignores.
+
+var (
+	ckptMagic    = []byte("BONSCKP1")
+	ckptEndMagic = []byte("BONSCKPE")
+)
+
+// ErrNoCheckpoint reports that the directory holds no usable checkpoint.
+var ErrNoCheckpoint = errors.New("journal: no checkpoint")
+
+// Checkpoint is a loaded snapshot: the tenant state at sequence Seq.
+type Checkpoint struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Checkpoint loads and validates the durable checkpoint, returning
+// (nil, ErrNoCheckpoint) when none exists and an error when one exists but
+// fails validation (half-written files never reach the final name, so a bad
+// checkpoint file means real corruption, not a crash artifact).
+func (j *Journal) Checkpoint() (*Checkpoint, error) {
+	return LoadCheckpoint(j.dir)
+}
+
+func decodeCheckpoint(data []byte) (*Checkpoint, error) {
+	const fixed = 8 + 8 + 8 + 4 + 8 // magic + seq + len + crc + end magic
+	if len(data) < fixed {
+		return nil, fmt.Errorf("journal: checkpoint truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != string(ckptMagic) {
+		return nil, fmt.Errorf("journal: checkpoint has bad magic")
+	}
+	if string(data[len(data)-8:]) != string(ckptEndMagic) {
+		return nil, fmt.Errorf("journal: checkpoint missing trailer magic")
+	}
+	seq := binary.LittleEndian.Uint64(data[8:16])
+	plen := binary.LittleEndian.Uint64(data[16:24])
+	if int(plen) != len(data)-fixed {
+		return nil, fmt.Errorf("journal: checkpoint length mismatch (%d vs %d)", plen, len(data)-fixed)
+	}
+	payload := data[24 : 24+plen]
+	want := binary.LittleEndian.Uint32(data[24+plen : 24+plen+4])
+	crc := crc32.Update(0, castagnoli, data[8:24])
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return nil, fmt.Errorf("journal: checkpoint CRC mismatch")
+	}
+	return &Checkpoint{Seq: seq, Payload: payload}, nil
+}
+
+// WriteCheckpoint durably replaces the checkpoint with payload-at-seq, then
+// truncates the journal behind it: the active segment is sealed first so
+// every record at or below seq lives in a fully-covered old segment, the
+// checkpoint is written to a temp file, fsynced and renamed into place, and
+// only then are the covered segments deleted. A crash at any point leaves a
+// recoverable directory — at worst the previous checkpoint with a longer
+// tail, or the new checkpoint with stale segments that replay skips by
+// sequence.
+func (j *Journal) WriteCheckpoint(seq uint64, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if seq < j.ckptSeq {
+		return fmt.Errorf("journal: checkpoint seq %d behind current %d", seq, j.ckptSeq)
+	}
+	// seq must name an appended record (or 0 for a base snapshot).
+	if seq != 0 && seq >= j.nextSeq {
+		return fmt.Errorf("journal: checkpoint seq %d beyond last appended %d", seq, j.nextSeq-1)
+	}
+
+	// Seal the active segment so truncation below can reason per-file.
+	if j.f != nil && j.fSize > 0 {
+		if err := j.rotateLocked(); err != nil {
+			return err
+		}
+	}
+
+	fixed := 8 + 8 + 8 + len(payload) + 4 + 8
+	buf := make([]byte, fixed)
+	copy(buf[:8], ckptMagic)
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(len(payload)))
+	copy(buf[24:], payload)
+	crc := crc32.Update(0, castagnoli, buf[8:24])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(buf[24+len(payload):], crc)
+	copy(buf[fixed-8:], ckptEndMagic)
+
+	tmp := filepath.Join(j.dir, ckptTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if faultinject.Active() {
+		faultinject.Fire(faultinject.CheckpointRename, strconv.FormatUint(seq, 10))
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, ckptName)); err != nil {
+		return err
+	}
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
+	j.ckptSeq = seq
+	j.checkpoints++
+	j.truncateLocked(seq)
+	return nil
+}
+
+// truncateLocked deletes sealed segments fully covered by a checkpoint at
+// seq: a segment is reclaimable when its successor starts at or below
+// seq+1, i.e. every record it holds is at or below seq. Deletion failures
+// are ignored — stale segments cost disk, not correctness, and the next
+// checkpoint retries.
+func (j *Journal) truncateLocked(seq uint64) {
+	segs, err := listSegments(j.dir)
+	if err != nil {
+		return
+	}
+	for i, s := range segs {
+		if j.f != nil && s.start == j.fStart {
+			continue // never the active segment
+		}
+		if i+1 >= len(segs) || segs[i+1].start > seq+1 {
+			continue
+		}
+		os.Remove(filepath.Join(j.dir, s.name))
+	}
+	// Recompute sealed bytes from what's left rather than tracking deltas.
+	j.segBytes = 0
+	j.segCount = 0
+	segs, _ = listSegments(j.dir)
+	for _, s := range segs {
+		if j.f != nil && s.start == j.fStart {
+			continue
+		}
+		if fi, err := os.Stat(filepath.Join(j.dir, s.name)); err == nil {
+			j.segBytes += fi.Size()
+			j.segCount++
+		}
+	}
+	syncDir(j.dir)
+}

@@ -11,8 +11,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,15 +24,53 @@ import (
 
 // Client talks to one bonsaid instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base       string
+	hc         *http.Client
+	timeout    time.Duration
+	maxRetries int
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout bounds each unary call (everything except Replay and
+// CompressStream, which legitimately run as long as their streams). Zero
+// means no per-call bound beyond the caller's context.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries caps the 429 retries per idempotent call (default 3; 0
+// disables retrying).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.maxRetries = n }
 }
 
 // NewClient returns a client for the daemon at base (e.g.
-// "http://127.0.0.1:7171"). The default transport has no overall timeout:
-// replay and compress calls legitimately run long.
-func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+// "http://127.0.0.1:7171"). The transport bounds connection setup and
+// time-to-first-header so a wedged daemon fails fast, but imposes no overall
+// deadline: replay and compress streams legitimately run long. Idempotent
+// requests (reads, plus the read-only verify/compress POSTs) that hit 429
+// admission control are retried with capped exponential backoff and jitter,
+// honoring a Retry-After header when the daemon sends one. Apply and Replay
+// are never retried: the caller owns the ack bookkeeping for mutations.
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{Transport: &http.Transport{
+			DialContext: (&net.Dialer{
+				Timeout:   5 * time.Second,
+				KeepAlive: 30 * time.Second,
+			}).DialContext,
+			ResponseHeaderTimeout: 2 * time.Minute,
+			MaxIdleConnsPerHost:   4,
+		}},
+		maxRetries: 3,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // apiError is a non-2xx response, preserving the status code so callers can
@@ -37,6 +78,8 @@ func NewClient(base string) *Client {
 type apiError struct {
 	Status  int
 	Message string
+	// RetryAfter is the parsed Retry-After header on 429/503, if any.
+	RetryAfter time.Duration
 }
 
 func (e *apiError) Error() string {
@@ -67,9 +110,9 @@ func asAPIError(err error, out **apiError) bool {
 	return false
 }
 
-// do issues a request and decodes the JSON response into out (skipped when
-// out is nil). Non-2xx responses become *apiError.
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+// once issues a single request and decodes the JSON response into out
+// (skipped when out is nil). Non-2xx responses become *apiError.
+func (c *Client) once(ctx context.Context, method, path string, body io.Reader, out any) error {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
@@ -90,12 +133,96 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &apiError{Status: resp.StatusCode, Message: msg}
+		return &apiError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// parseRetryAfter handles both delta-seconds and HTTP-date forms.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if when, err := http.ParseTime(v); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// unaryCtx applies the configured per-call timeout.
+func (c *Client) unaryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.timeout > 0 {
+		return context.WithTimeout(ctx, c.timeout)
+	}
+	return ctx, func() {}
+}
+
+// do is the non-idempotent unary path: one attempt, bounded by WithTimeout.
+// Mutations (Open, Apply, Close) land here — a retry after an ambiguous
+// failure could double-submit, and for Apply the ack sequence is the
+// caller's durability contract.
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out any) error {
+	ctx, cancel := c.unaryCtx(ctx)
+	defer cancel()
+	return c.once(ctx, method, path, body, out)
+}
+
+// retryBackoffCap bounds the exponential backoff between 429 retries.
+const retryBackoffCap = 2 * time.Second
+
+// doIdem is the idempotent unary path: on 429 it backs off (Retry-After when
+// the daemon provides it, else capped exponential with full jitter) and
+// retries up to the configured cap, all inside the WithTimeout window.
+func (c *Client) doIdem(ctx context.Context, method, path string, body io.Reader, out any) error {
+	ctx, cancel := c.unaryCtx(ctx)
+	defer cancel()
+	backoff := 50 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, body, out)
+		var ae *apiError
+		if err == nil || !asAPIError(err, &ae) ||
+			ae.Status != http.StatusTooManyRequests || attempt >= c.maxRetries {
+			return err
+		}
+		if body != nil {
+			s, ok := body.(io.Seeker)
+			if !ok {
+				return err // body consumed and not replayable
+			}
+			if _, serr := s.Seek(0, io.SeekStart); serr != nil {
+				return err
+			}
+		}
+		wait := ae.RetryAfter
+		if wait <= 0 {
+			// Full jitter: a uniform draw from (0, backoff] decorrelates
+			// clients that were rejected by the same admission burst.
+			wait = time.Duration(rand.Int63n(int64(backoff))) + 1
+		}
+		backoff *= 2
+		if backoff > retryBackoffCap {
+			backoff = retryBackoffCap
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		case <-timer.C:
+		}
+	}
 }
 
 func jsonBody(v any) io.Reader {
@@ -105,13 +232,13 @@ func jsonBody(v any) io.Reader {
 
 // Healthz probes liveness.
 func (c *Client) Healthz(ctx context.Context) error {
-	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+	return c.doIdem(ctx, http.MethodGet, "/healthz", nil, nil)
 }
 
 // Version fetches the daemon's build metadata.
 func (c *Client) Version(ctx context.Context) (bonsai.VersionInfo, error) {
 	var v bonsai.VersionInfo
-	err := c.do(ctx, http.MethodGet, "/version", nil, &v)
+	err := c.doIdem(ctx, http.MethodGet, "/version", nil, &v)
 	return v, err
 }
 
@@ -137,7 +264,7 @@ func (c *Client) Close(ctx context.Context, name string) error {
 // Tenants lists open tenants.
 func (c *Client) Tenants(ctx context.Context) ([]TenantInfo, error) {
 	var out []TenantInfo
-	err := c.do(ctx, http.MethodGet, "/v1/tenants", nil, &out)
+	err := c.doIdem(ctx, http.MethodGet, "/v1/tenants", nil, &out)
 	return out, err
 }
 
@@ -167,7 +294,7 @@ func (c *Client) Replay(ctx context.Context, name string, r io.Reader, pending i
 		path += "?" + q.Encode()
 	}
 	var rep bonsai.ApplyStreamReport
-	if err := c.do(ctx, http.MethodPost, path, r, &rep); err != nil {
+	if err := c.once(ctx, http.MethodPost, path, r, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil
@@ -176,7 +303,7 @@ func (c *Client) Replay(ctx context.Context, name string, r io.Reader, pending i
 // Verify runs a verification and returns its report.
 func (c *Client) Verify(ctx context.Context, name string, req bonsai.VerifyRequest) (*bonsai.Report, error) {
 	var rep bonsai.Report
-	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/verify", jsonBody(req), &rep)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/verify", jsonBody(req), &rep)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +313,7 @@ func (c *Client) Verify(ctx context.Context, name string, req bonsai.VerifyReque
 // Compress compresses the selected classes and returns the batch report.
 func (c *Client) Compress(ctx context.Context, name string, sel bonsai.ClassSelector) (*bonsai.CompressReport, error) {
 	var rep bonsai.CompressReport
-	err := c.do(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/compress", jsonBody(sel), &rep)
+	err := c.doIdem(ctx, http.MethodPost, "/v1/tenants/"+url.PathEscape(name)+"/compress", jsonBody(sel), &rep)
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +375,7 @@ func (c *Client) Reach(ctx context.Context, name, src, dest string, concrete boo
 		q.Set("concrete", "1")
 	}
 	var res bonsai.ReachResult
-	err := c.do(ctx, http.MethodGet,
+	err := c.doIdem(ctx, http.MethodGet,
 		"/v1/tenants/"+url.PathEscape(name)+"/reach?"+q.Encode(), nil, &res)
 	if err != nil {
 		return nil, err
@@ -260,7 +387,7 @@ func (c *Client) Reach(ctx context.Context, name, src, dest string, concrete boo
 func (c *Client) Routes(ctx context.Context, name, dest string) (*bonsai.RoutesReport, error) {
 	q := url.Values{"dest": {dest}}
 	var rep bonsai.RoutesReport
-	err := c.do(ctx, http.MethodGet,
+	err := c.doIdem(ctx, http.MethodGet,
 		"/v1/tenants/"+url.PathEscape(name)+"/routes?"+q.Encode(), nil, &rep)
 	if err != nil {
 		return nil, err
@@ -282,7 +409,7 @@ func (c *Client) Roles(ctx context.Context, name string, req bonsai.RolesRequest
 		path += "?" + q.Encode()
 	}
 	var rep bonsai.RolesReport
-	if err := c.do(ctx, http.MethodGet, path, nil, &rep); err != nil {
+	if err := c.doIdem(ctx, http.MethodGet, path, nil, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil
@@ -291,7 +418,7 @@ func (c *Client) Roles(ctx context.Context, name string, req bonsai.RolesRequest
 // Stats fetches one tenant's cache and apply-stream snapshot.
 func (c *Client) Stats(ctx context.Context, name string) (*TenantStats, error) {
 	var st TenantStats
-	err := c.do(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name)+"/stats", nil, &st)
+	err := c.doIdem(ctx, http.MethodGet, "/v1/tenants/"+url.PathEscape(name)+"/stats", nil, &st)
 	if err != nil {
 		return nil, err
 	}

@@ -38,6 +38,16 @@ type metricSet struct {
 	nsPerClass     *metrics.GaugeVec
 	coalesceRatio  *metrics.GaugeVec
 
+	// Durability layer: gauges refreshed from journal.Stats at scrape time,
+	// counters accumulated at recovery / gap detection.
+	journalAppends  *metrics.GaugeVec   // {tenant}
+	journalFsyncs   *metrics.GaugeVec   // {tenant}
+	journalCkpts    *metrics.GaugeVec   // {tenant}
+	journalTail     *metrics.GaugeVec   // {tenant}
+	journalBytes    *metrics.GaugeVec   // {tenant}
+	journalReplayed *metrics.CounterVec // {tenant}
+	journalGaps     *metrics.CounterVec // {tenant}
+
 	// Pool layer.
 	poolLive    *metrics.Gauge
 	poolPeak    *metrics.Gauge
@@ -89,6 +99,21 @@ func newMetricSet() *metricSet {
 		coalesceRatio: r.GaugeVec("bonsai_coalesce_ratio",
 			"Delta edits received / applied across replay streams.", "tenant"),
 
+		journalAppends: r.GaugeVec("bonsaid_journal_appends_total",
+			"Deltas appended to the write-ahead journal this process.", "tenant"),
+		journalFsyncs: r.GaugeVec("bonsaid_journal_fsyncs_total",
+			"Journal fsync calls this process.", "tenant"),
+		journalCkpts: r.GaugeVec("bonsaid_journal_checkpoints_total",
+			"Durable checkpoint replacements this process.", "tenant"),
+		journalTail: r.GaugeVec("bonsaid_journal_tail_records",
+			"Journal records past the checkpoint — the replay cost of a crash right now.", "tenant"),
+		journalBytes: r.GaugeVec("bonsaid_journal_segment_bytes",
+			"On-disk journal segment bytes (excluding the checkpoint).", "tenant"),
+		journalReplayed: r.CounterVec("bonsaid_journal_replayed_deltas_total",
+			"Deltas replayed from the journal tail during startup recovery.", "tenant"),
+		journalGaps: r.CounterVec("bonsaid_journal_gaps_total",
+			"Recoveries that found a corrupt record with valid history past it.", "tenant"),
+
 		poolLive: r.Gauge("bonsai_pool_live_bytes",
 			"Shared pool: retained abstraction bytes across all tenants."),
 		poolPeak: r.Gauge("bonsai_pool_peak_bytes",
@@ -113,7 +138,8 @@ func (m *metricSet) dropTenant(name string) {
 	for _, v := range []*metrics.GaugeVec{
 		m.inflight, m.queueDepth, m.cacheServed, m.cacheMisses, m.cacheHitRate,
 		m.cacheEvictions, m.cacheLive, m.cachePeak, m.adopted, m.adoptionRatio,
-		m.nsPerClass, m.coalesceRatio,
+		m.nsPerClass, m.coalesceRatio, m.journalAppends, m.journalFsyncs,
+		m.journalCkpts, m.journalTail, m.journalBytes,
 	} {
 		v.Delete(name)
 	}
@@ -153,6 +179,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			m.coalesceRatio.With(t.name).Set(float64(t.editsReceived.Load()) / float64(applied))
 		}
 		m.queueDepth.With(t.name).Set(float64(len(t.applyCh)))
+		if t.jrnl != nil {
+			js := t.jrnl.Stats()
+			m.journalAppends.With(t.name).Set(float64(js.Appends))
+			m.journalFsyncs.With(t.name).Set(float64(js.Fsyncs))
+			m.journalCkpts.With(t.name).Set(float64(js.Checkpoints))
+			m.journalTail.With(t.name).Set(float64(js.TailRecords))
+			m.journalBytes.With(t.name).Set(float64(js.SegmentBytes))
+		}
 	}
 	if s.pool != nil {
 		ps := s.pool.Stats()

@@ -9,12 +9,14 @@ package server
 import (
 	"context"
 	"errors"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"bonsai"
+	"bonsai/internal/journal"
 )
 
 // Errors the HTTP layer maps to status codes.
@@ -63,6 +65,19 @@ type tenant struct {
 	compressNs      atomic.Int64
 	editsReceived   atomic.Int64
 	editsApplied    atomic.Int64
+
+	// Durability (nil jrnl = ephemeral tenant). appliedSeq is the newest
+	// journal sequence known to be reflected in the live engine — a
+	// conservative lower bound, safe because delta replay is
+	// prefix-idempotent. recovery is set once at startup recovery and
+	// read-only after. The ckpt* channels drive the background checkpointer.
+	jrnl       *journal.Journal
+	appliedSeq atomic.Uint64
+	recovery   *RecoveryInfo
+	ckptEvery  int
+	ckptKick   chan struct{}
+	ckptStop   chan struct{}
+	ckptDone   chan struct{}
 }
 
 type applyReq struct {
@@ -96,19 +111,47 @@ func (t *tenant) acquireQuery() error {
 func (t *tenant) releaseQuery() { <-t.queries }
 
 // applyWorker drains the bounded apply queue, one delta at a time — the
-// queue depth is the backpressure bound the HTTP layer admits against.
+// queue depth is the backpressure bound the HTTP layer admits against. For
+// durable tenants the worker is also where the log-then-apply discipline
+// lives: the delta is validated, journaled (fsynced under fsync=always),
+// and only then applied, all under replayMu — so journal order equals apply
+// order by construction and a crash between append and apply is repaired by
+// replaying the journal tail on recovery.
 func (t *tenant) applyWorker() {
 	defer close(t.applyDone)
 	for req := range t.applyCh {
 		t.applyActive.Store(true)
 		t.replayMu.Lock()
-		// Detached context: once admitted, a queued delta always lands even
-		// if the enqueuing client times out — dropping it silently would let
-		// the client's view of the network diverge from the engine's.
+		// Pre-validate against the current config so known-bad deltas are
+		// rejected without polluting the journal. Apply revalidates, but only
+		// post-validation deltas reach the log.
+		if t.jrnl != nil {
+			if err := req.d.Validate(t.eng.Network()); err != nil {
+				t.replayMu.Unlock()
+				t.applyActive.Store(false)
+				req.resp <- applyResp{nil, err}
+				continue
+			}
+		}
+		seq, jerr := t.journalDelta(req.d)
+		if jerr != nil {
+			t.replayMu.Unlock()
+			t.applyActive.Store(false)
+			req.resp <- applyResp{nil, jerr}
+			continue
+		}
+		// Detached context: once admitted (and now journaled), a queued delta
+		// always lands even if the enqueuing client times out — dropping it
+		// silently would let the client's view of the network diverge from
+		// the engine's (and from the journal's).
 		rep, err := t.eng.Apply(context.WithoutCancel(req.ctx), req.d)
+		if err == nil && seq > 0 {
+			t.appliedSeq.Store(seq)
+		}
 		t.replayMu.Unlock()
 		t.applyActive.Store(false)
 		req.resp <- applyResp{rep, err}
+		t.maybeKickCheckpoint()
 	}
 }
 
@@ -172,7 +215,32 @@ func newRegistry(cfg Config, pool *bonsai.SharedPool) *registry {
 	return &registry{cfg: cfg, pool: pool, tenants: make(map[string]*tenant)}
 }
 
-// open creates a tenant over net, attaching its engine to the shared pool.
+// buildTenant constructs a tenant's engine and admission state without
+// registering it — shared by open (fresh tenants) and startup recovery.
+func (r *registry) buildTenant(name string, net *bonsai.Network) (*tenant, error) {
+	opts := append([]bonsai.Option(nil), r.cfg.EngineOptions...)
+	if r.pool != nil {
+		opts = append(opts, bonsai.WithSharedPool(r.pool, r.cfg.TenantFloor, name))
+	}
+	eng, err := bonsai.Open(net, opts...)
+	if err != nil {
+		return nil, err
+	}
+	t := &tenant{
+		name:      name,
+		eng:       eng,
+		queries:   make(chan struct{}, max(1, r.cfg.MaxQueriesPerTenant)),
+		applyCh:   make(chan applyReq, max(1, r.cfg.ApplyQueueDepth)),
+		applyDone: make(chan struct{}),
+		ckptEvery: r.checkpointEvery(),
+	}
+	t.touch()
+	return t, nil
+}
+
+// open creates a tenant over net, attaching its engine to the shared pool
+// and (when a data dir is configured) starting its journal with a base
+// checkpoint of the opening config.
 func (r *registry) open(name string, net *bonsai.Network) (*tenant, error) {
 	r.mu.Lock()
 	if r.draining {
@@ -192,25 +260,25 @@ func (r *registry) open(name string, net *bonsai.Network) (*tenant, error) {
 	r.tenants[name] = nil
 	r.mu.Unlock()
 
-	opts := append([]bonsai.Option(nil), r.cfg.EngineOptions...)
-	if r.pool != nil {
-		opts = append(opts, bonsai.WithSharedPool(r.pool, r.cfg.TenantFloor, name))
-	}
-	eng, err := bonsai.Open(net, opts...)
-	if err != nil {
+	fail := func(err error) (*tenant, error) {
 		r.mu.Lock()
 		delete(r.tenants, name)
 		r.mu.Unlock()
 		return nil, err
 	}
-	t := &tenant{
-		name:      name,
-		eng:       eng,
-		queries:   make(chan struct{}, max(1, r.cfg.MaxQueriesPerTenant)),
-		applyCh:   make(chan applyReq, max(1, r.cfg.ApplyQueueDepth)),
-		applyDone: make(chan struct{}),
+	t, err := r.buildTenant(name, net)
+	if err != nil {
+		return fail(err)
 	}
-	t.touch()
+	if r.persistent() {
+		// Durability was asked for: an open that can't journal must fail
+		// rather than silently serve an ephemeral tenant.
+		if err := r.initPersistence(t); err != nil {
+			t.eng.Close()
+			return fail(err)
+		}
+		t.startCheckpointer()
+	}
 	go t.applyWorker()
 	r.mu.Lock()
 	r.tenants[name] = t
@@ -243,9 +311,13 @@ func (r *registry) names() []string {
 	return out
 }
 
-// close removes and closes one tenant. The engine close waits for nothing:
-// bonsai.Engine.Close lets in-flight queries finish against their snapshot.
-func (r *registry) close(name string) error {
+// close removes and closes one tenant. deleteData distinguishes an explicit
+// DELETE (the tenant and its history are gone for good) from eviction and
+// drain (the engine is released but the sealed journal stays on disk, so the
+// next daemon start resurrects the tenant). The engine close waits for
+// nothing: bonsai.Engine.Close lets in-flight queries finish against their
+// snapshot.
+func (r *registry) close(name string, deleteData bool) error {
 	r.mu.Lock()
 	t, ok := r.tenants[name]
 	if !ok || t == nil {
@@ -261,6 +333,20 @@ func (r *registry) close(name string) error {
 	close(t.applyCh)
 	t.closeMu.Unlock()
 	<-t.applyDone
+	if t.ckptStop != nil {
+		close(t.ckptStop)
+		<-t.ckptDone
+	}
+	if t.jrnl != nil {
+		if deleteData {
+			t.jrnl.Close()
+			os.RemoveAll(r.tenantDir(name))
+		} else {
+			// Seal while the engine is still open: the final checkpoint
+			// renders the live config.
+			t.sealJournal()
+		}
+	}
 	return t.eng.Close()
 }
 
@@ -292,7 +378,8 @@ func (r *registry) drain() {
 	r.mu.Unlock()
 	r.inflight.Wait()
 	for _, n := range r.names() {
-		r.close(n)
+		// Keep data: a drained daemon restarts into the same tenants.
+		r.close(n, false)
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"bonsai"
+	"bonsai/internal/journal"
 )
 
 // Config sizes the daemon's shared resources and per-tenant quotas. The
@@ -58,6 +59,20 @@ type Config struct {
 	IdleTTL time.Duration
 	// EngineOptions is appended to every tenant's bonsai.Open call.
 	EngineOptions []bonsai.Option
+
+	// DataDir enables durability: each tenant gets a write-ahead delta
+	// journal plus checkpoint under DataDir/<escaped-name>, every admitted
+	// delta is journaled before it is applied, and New recovers all
+	// journaled tenants from disk. Empty disables persistence.
+	DataDir string
+	// Fsync is the journal fsync policy (default journal.SyncAlways);
+	// FsyncInterval is the flush period under SyncInterval (default 100ms).
+	Fsync         journal.SyncPolicy
+	FsyncInterval time.Duration
+	// CheckpointEvery checkpoints a tenant once its journal tail reaches
+	// this many records (0 = default 4096, negative = never in the
+	// background; tenants still checkpoint when sealed on drain/eviction).
+	CheckpointEvery int
 }
 
 // Server is the daemon core: registry + pool + metrics behind an
@@ -90,6 +105,11 @@ func New(cfg Config) *Server {
 		janitorDone: make(chan struct{}),
 	}
 	s.routes()
+	if cfg.DataDir != "" {
+		// Recover journaled tenants before serving: requests arriving after
+		// New returns see every tenant that survived the previous process.
+		s.reg.recoverAll(s.metrics)
+	}
 	go s.janitor()
 	return s
 }
@@ -125,7 +145,8 @@ func (s *Server) janitor() {
 			return
 		case <-tick.C:
 			for _, name := range s.reg.idleNames(s.cfg.IdleTTL) {
-				if s.reg.close(name) == nil {
+				// Keep data: eviction reclaims memory, not history.
+				if s.reg.close(name, false) == nil {
 					s.metrics.dropTenant(name)
 				}
 			}
@@ -241,7 +262,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	if err := s.reg.close(name); err != nil {
+	if err := s.reg.close(name, true); err != nil {
 		s.httpError(w, err)
 		return
 	}
@@ -301,9 +322,21 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	t.touch()
 
+	// replayMu serialises with the tenant's apply-queue worker; the engine's
+	// own applyMu would too, but holding replayMu keeps queue waits visible
+	// (deltas stay queued rather than blocked inside the engine). It is
+	// taken BEFORE the decoder starts so the decoder's journal appends can
+	// never interleave with the worker's: journal order equals apply order.
+	t.replayMu.Lock()
+	var startSeq uint64
+	if t.jrnl != nil {
+		startSeq = t.jrnl.LastSeq()
+	}
+
 	deltas := make(chan bonsai.Delta)
 	dec := json.NewDecoder(r.Body)
 	decErr := make(chan error, 1)
+	decDone := make(chan struct{})
 	// streamDone unblocks the decoder if ApplyStream returns without
 	// draining deltas (engine closed mid-stream via DELETE or eviction), so
 	// the handler never wedges on decErr below. Deferred closes run LIFO:
@@ -311,6 +344,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	// settled decErr.
 	streamDone := make(chan struct{})
 	go func() {
+		defer close(decDone)
 		defer close(deltas)
 		defer close(decErr)
 		for {
@@ -319,6 +353,15 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 				if !errors.Is(err, io.EOF) {
 					decErr <- err
 				}
+				return
+			}
+			// Log-then-apply: the delta is journaled before the engine can
+			// see it. A record the stream never gets to apply (client gone,
+			// engine closed) is healed by the reconverge pass below — replay
+			// is prefix-idempotent, so over-journaling is safe, silently
+			// dropping an applied-but-unjournaled delta would not be.
+			if _, jerr := t.journalDelta(d); jerr != nil {
+				decErr <- jerr
 				return
 			}
 			select {
@@ -332,20 +375,36 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	// replayMu serialises with the tenant's apply-queue worker; the engine's
-	// own applyMu would too, but holding replayMu keeps queue waits visible
-	// (deltas stay queued rather than blocked inside the engine).
-	t.replayMu.Lock()
 	rep, aerr := t.eng.ApplyStream(r.Context(), deltas, opts...)
-	t.replayMu.Unlock()
 	close(streamDone)
+	if t.jrnl != nil {
+		if aerr == nil {
+			// Channel closed means the decoder journaled and delivered every
+			// delta, and the stream flushed them all.
+			t.appliedSeq.Store(t.jrnl.LastSeq())
+		} else {
+			// Aborted mid-stream: wait for the decoder to quiesce (it may be
+			// mid-append), then re-apply the journal tail onto the live
+			// engine so journaled-but-unapplied records land after all.
+			<-decDone
+			t.reconverge(r.Context(), startSeq)
+		}
+	}
+	t.replayMu.Unlock()
+	if t.jrnl != nil {
+		t.maybeKickCheckpoint()
+	}
 	if aerr == nil {
 		// A nil stream error means ApplyStream consumed deltas to close, so
 		// the decoder already exited and decErr is settled; the non-blocking
 		// read is belt-and-braces against future early-nil returns.
 		select {
 		case derr := <-decErr:
-			if derr != nil {
+			switch {
+			case derr == nil:
+			case errors.Is(derr, errJournal):
+				aerr = derr // server-side durability failure, not a client 400
+			default:
 				aerr = fmt.Errorf("%w: decoding delta stream: %v", errBadRequest, derr)
 			}
 		default:
@@ -480,18 +539,21 @@ func (s *Server) handleRoles(w http.ResponseWriter, r *http.Request, t *tenant) 
 	writeJSON(w, http.StatusOK, rep)
 }
 
-// TenantStats is the /stats wire shape.
+// TenantStats is the /stats wire shape. Journal is nil for ephemeral
+// tenants (no -data-dir).
 type TenantStats struct {
-	Name  string            `json:"name"`
-	Cache bonsai.CacheStats `json:"cache"`
-	Apply bonsai.ApplyStats `json:"apply"`
+	Name    string            `json:"name"`
+	Cache   bonsai.CacheStats `json:"cache"`
+	Apply   bonsai.ApplyStats `json:"apply"`
+	Journal *JournalStats     `json:"journal,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, t *tenant) {
 	writeJSON(w, http.StatusOK, TenantStats{
-		Name:  t.name,
-		Cache: t.eng.Stats(),
-		Apply: t.eng.ApplyStats(),
+		Name:    t.name,
+		Cache:   t.eng.Stats(),
+		Apply:   t.eng.ApplyStats(),
+		Journal: t.journalStats(),
 	})
 }
 

@@ -443,7 +443,7 @@ func TestServerIdleEviction(t *testing.T) {
 	// The janitor ticks at >= 1s; call the sweep directly for a fast test.
 	time.Sleep(60 * time.Millisecond)
 	for _, name := range s.reg.idleNames(s.cfg.IdleTTL) {
-		if err := s.reg.close(name); err != nil {
+		if err := s.reg.close(name, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -487,7 +487,7 @@ func TestRegistryApplyCloseRace(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			<-start
-			if err := reg.close("race"); err != nil {
+			if err := reg.close("race", false); err != nil {
 				t.Errorf("close: %v", err)
 			}
 		}()
