@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bonsai/internal/bdd"
 	"bonsai/internal/build"
 	"bonsai/internal/config"
 	"bonsai/internal/faultinject"
@@ -46,6 +47,18 @@ type Engine struct {
 	// streamStats is the live ApplyStats snapshot of the most recent
 	// ApplyStream (nil before the first stream).
 	streamStats atomic.Pointer[ApplyStats]
+
+	// BDD-layer aggregates, folded from per-compiler counters at release
+	// and retire time (the owning goroutine folds, so the managers' hot
+	// paths stay free of atomics). Nodes/slots are the live contribution of
+	// every engine-created compiler as of its last fold; hit/miss/overwrite
+	// counters are cumulative over the engine's lifetime.
+	bddNodes      atomic.Int64
+	bddSlots      atomic.Int64
+	bddManagers   atomic.Int64
+	bddHits       atomic.Uint64
+	bddMisses     atomic.Uint64
+	bddOverwrites atomic.Uint64
 }
 
 // engineState is one immutable network snapshot.
@@ -58,6 +71,7 @@ type engineState struct {
 type pooledCompiler struct {
 	comp     *policy.Compiler
 	universe string
+	last     bdd.Stats // counters as of the last fold into engine aggregates
 }
 
 // Open validates net and builds an Engine over it. The network is cloned,
@@ -89,6 +103,11 @@ func Open(net *Network, opts ...Option) (*Engine, error) {
 	if o.pool != nil {
 		o.pool.Attach(b, e.poolLabel(), o.poolFloor)
 	}
+	if o.relStore != "" {
+		// Best-effort warm start; a missing or rejected store is a cold
+		// start, not an error (see WithRelationStore).
+		e.LoadRelationStore(o.relStore)
+	}
 	return e, nil
 }
 
@@ -115,6 +134,11 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	close(e.closeCh)
+	if e.opts.relStore != "" {
+		// Persist the warm state before the pool (and its relation caches)
+		// is torn down; failure degrades the next Open to a cold start.
+		e.saveRelStore(e.opts.relStore)
+	}
 	e.drainPool()
 	if e.opts.pool != nil {
 		// Serialise with any in-flight Apply/ApplyStream (both abort promptly
@@ -188,14 +212,15 @@ func (e *Engine) acquire(st *engineState) *pooledCompiler {
 		select {
 		case pc := <-e.pool:
 			if pc.universe != st.universe {
-				continue // stale variable layout; drop it
+				e.retire(pc) // stale variable layout; free its tables
+				continue
 			}
-			// The compiler's relation cache follows it across updates:
-			// Apply transplants caches via Builder.AdoptCompilerCaches, and
-			// Builder.cacheFor lazily registers any compiler it has not
-			// seen.
+			// The compiler's relation cache rides on the compiler itself
+			// (policy.Compiler.Cache), so it follows the compiler across
+			// configuration updates with no hand-off.
 			return pc
 		default:
+			e.bddManagers.Add(1)
 			return &pooledCompiler{
 				comp:     st.b.NewCompilerSized(true, e.opts.bddCacheBits),
 				universe: st.universe,
@@ -204,13 +229,35 @@ func (e *Engine) acquire(st *engineState) *pooledCompiler {
 	}
 }
 
-// release returns a compiler to the pool, dropping it when full and
-// freeing its BDD tables when the engine has been closed (the query that
-// held it across Close finishes normally; the compiler does not outlive
-// it).
+// foldBDD folds the compiler's counter deltas since the last fold into the
+// engine aggregates. Called only by the goroutine that owns pc.
+func (e *Engine) foldBDD(pc *pooledCompiler) {
+	s := pc.comp.M.Stats()
+	e.bddNodes.Add(int64(s.Nodes - pc.last.Nodes))
+	e.bddSlots.Add(int64(s.UniqueSlots - pc.last.UniqueSlots))
+	e.bddHits.Add(s.CacheHits - pc.last.CacheHits)
+	e.bddMisses.Add(s.CacheMisses - pc.last.CacheMisses)
+	e.bddOverwrites.Add(s.CacheOverwrites - pc.last.CacheOverwrites)
+	pc.last = s
+}
+
+// retire folds a compiler's final counters, removes its live contribution
+// from the aggregates, and frees its BDD tables.
+func (e *Engine) retire(pc *pooledCompiler) {
+	e.foldBDD(pc)
+	e.bddNodes.Add(-int64(pc.last.Nodes))
+	e.bddSlots.Add(-int64(pc.last.UniqueSlots))
+	e.bddManagers.Add(-1)
+	pc.comp.Close()
+}
+
+// release returns a compiler to the pool, retiring it when the pool is full
+// or the engine has been closed (the query that held it across Close
+// finishes normally; the compiler does not outlive it).
 func (e *Engine) release(pc *pooledCompiler) {
+	e.foldBDD(pc)
 	if e.closed.Load() {
-		pc.comp.Close()
+		e.retire(pc)
 		return
 	}
 	select {
@@ -222,6 +269,7 @@ func (e *Engine) release(pc *pooledCompiler) {
 			e.drainPool()
 		}
 	default:
+		e.retire(pc)
 	}
 }
 
@@ -230,11 +278,95 @@ func (e *Engine) drainPool() {
 	for {
 		select {
 		case pc := <-e.pool:
-			pc.comp.Close()
+			e.retire(pc)
 		default:
 			return
 		}
 	}
+}
+
+// BDDStats snapshots the engine's BDD-layer aggregates: the live node and
+// unique-table footprint of its compiler pool and the cumulative op-cache
+// behaviour. Counters for a checked-out compiler fold in when it is
+// released, so long-running queries surface on completion.
+func (e *Engine) BDDStats() BDDStats {
+	s := BDDStats{
+		NodesLive:       e.bddNodes.Load(),
+		UniqueSlots:     e.bddSlots.Load(),
+		Managers:        e.bddManagers.Load(),
+		CacheHits:       e.bddHits.Load(),
+		CacheMisses:     e.bddMisses.Load(),
+		CacheOverwrites: e.bddOverwrites.Load(),
+	}
+	if s.UniqueSlots > 0 {
+		s.LoadFactor = float64(s.NodesLive) / float64(s.UniqueSlots)
+	}
+	return s
+}
+
+// SaveRelationStore writes the engine's warm state — every completed cached
+// abstraction plus the merged BDD edge-relation caches of the idle compiler
+// pool — to a versioned, CRC-framed file at path, atomically (temp + fsync +
+// rename; a crash mid-save leaves the previous file intact). A later Open of
+// the same network with WithRelationStore (or LoadRelationStore) restores
+// it, skipping refinement for every saved class.
+func (e *Engine) SaveRelationStore(path string) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	return e.saveRelStore(path)
+}
+
+// saveRelStore is SaveRelationStore without the closed gate, so Close can
+// persist state after marking the engine closed.
+func (e *Engine) saveRelStore(path string) error {
+	st := e.state.Load()
+	sc := e.acquire(st)
+	defer e.release(sc)
+	// Fold the other idle compilers' relation caches into sc so the saved
+	// image covers the whole pool, not one worker's slice of it. Compilers
+	// are returned as they are merged; a stale-universe compiler is retired
+	// exactly as acquire would.
+	var idle []*pooledCompiler
+	for {
+		select {
+		case pc := <-e.pool:
+			if pc.universe != st.universe {
+				e.retire(pc)
+				continue
+			}
+			idle = append(idle, pc)
+			continue
+		default:
+		}
+		break
+	}
+	var mergeErr error
+	for _, pc := range idle {
+		if mergeErr == nil {
+			mergeErr = st.b.MergeRelationCaches(sc.comp, pc.comp)
+		}
+		e.release(pc)
+	}
+	if mergeErr != nil {
+		return mergeErr
+	}
+	return st.b.SaveRelationStoreFile(path, sc.comp)
+}
+
+// LoadRelationStore restores a relation store saved by SaveRelationStore
+// into the current network's caches, returning how many class abstractions
+// were installed. The file loads whole or not at all: a truncated,
+// bit-flipped, or wrong-network file yields an error and leaves the engine
+// cold but fully consistent.
+func (e *Engine) LoadRelationStore(path string) (int, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	st := e.state.Load()
+	pc := e.acquire(st)
+	defer e.release(pc)
+	return st.b.LoadRelationStoreFile(path, pc.comp)
 }
 
 // Compress compresses the selected destination classes, sharing cached
@@ -485,9 +617,10 @@ func (e *Engine) applyDelta(ctx context.Context, d Delta) (rep *ApplyReport, err
 	if e.opts.memBudget > 0 {
 		b2.SetAbstractionBudget(e.opts.memBudget)
 	}
-	// Keep the compiled-policy pool warm: relation caches transfer because
-	// unchanged routers share their policy namespaces with the old config.
-	b2.AdoptCompilerCaches(st.b)
+	// The compiled-policy pool stays warm across the swap on its own:
+	// relation caches ride on the compilers (policy.Compiler.Cache), and
+	// entries are keyed by policy-namespace pointer, which unchanged routers
+	// share with the old config.
 	st2 := &engineState{cfg: cfg2, b: b2, universe: universeKey(cfg2)}
 
 	var stats build.AdoptStats

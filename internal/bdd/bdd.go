@@ -9,12 +9,30 @@
 // A Manager owns all nodes; Node values are indices into the manager and are
 // only meaningful together with the manager that produced them.
 //
+// Storage is structure-of-arrays: a node is a row across two parallel arrays
+// — level[i] and a packed lohi[i] word holding both children — instead of a
+// 16-byte struct. Traversals touch 12 bytes per node across two dense
+// arrays, and a single 64-bit load yields both children. The unique table is
+// open-addressed (linear probing over 32-bit refs, slot 0 = empty) rather
+// than chained, so a probe walks a short run of one cache line instead of
+// chasing per-node chain links through the node array.
+//
+// Every manager seeds the same canonical prefix: terminals at handles 0/1
+// and the single-variable diagrams at Var(i) = 2+2i, NVar(i) = 3+2i. Two
+// managers over the same variable count therefore agree on these handles,
+// which makes Var a bounds check plus arithmetic (no table probe) and gives
+// serialized BDDs a stable vocabulary of seed references (see Space,
+// Export, Import).
+//
 // Operation results are memoised in fixed-size, power-of-two, open-addressed
 // caches in the style of Brace-Rudell-Bryant: each slot holds one entry and a
 // colliding insert simply overwrites it. Lossy caching never affects
 // correctness (the structural recursion terminates and recomputes on a miss)
 // but removes the map overhead — hashing, bucket chasing and incremental
 // growth — from the hot path, and keeps probes to a single cache line.
+// Because no cached operation takes the False terminal as its first operand
+// (terminal rules short-circuit first), a zeroed slot reads as empty and the
+// caches need no initialisation pass.
 package bdd
 
 import "fmt"
@@ -30,27 +48,34 @@ const (
 	True  Node = 1
 )
 
-// node is the internal representation: a decision on variable level with a
-// low branch (variable false) and high branch (variable true).
-type node struct {
-	level    int32
-	lo, hi   Node
-	nextHash int32 // next node index in the unique-table bucket chain, -1 none
-}
-
 // Manager owns a universe of BDD nodes over a fixed number of variables.
 // Variable indices run from 0 (top of every diagram) to NumVars-1.
-// The zero value is not usable; call New.
+// The zero value is not usable; call New or Space.NewManager.
 type Manager struct {
 	nvars   int32
-	nodes   []node
-	buckets []int32 // unique table: hash -> first node index in chain
-	mask    uint32
+	seedLen int32 // terminals + per-variable seeds; identical across managers with equal nvars
+
+	// Structure-of-arrays node storage. lohi packs lo in the low 32 bits
+	// and hi in the high 32.
+	level []int32
+	lohi  []uint64
+
+	// Open-addressed unique table of node refs. 0 marks an empty slot
+	// (False is a terminal and never inserted).
+	table []int32
+	mask  uint32
+
+	space *Space // non-nil when created from a shared Space
 
 	ite    []iteEntry
 	apply2 []applyEntry
 	unary  []unaryEntry
 	sat    []satEntry
+
+	// Op-cache counters, folded into engine aggregates by the owner.
+	hits       uint64
+	misses     uint64
+	overwrites uint64
 }
 
 // Default cache geometry. Sizes are fixed per Manager (lossy caches never
@@ -70,23 +95,24 @@ const (
 	MaxCacheBits = 24
 )
 
-// iteEntry caches ITE(f, g, h) = r. f < 0 marks an empty slot.
+// iteEntry caches ITE(f, g, h) = r. f == 0 marks an empty slot (a terminal
+// f never reaches the cache).
 type iteEntry struct{ f, g, h, r Node }
 
-// applyEntry caches op(a, b) = r. a < 0 marks an empty slot.
+// applyEntry caches op(a, b) = r. a == 0 marks an empty slot.
 type applyEntry struct {
 	a, b, r Node
 	op      uint8
 }
 
-// unaryEntry caches op(a, arg) = r. a < 0 marks an empty slot.
+// unaryEntry caches op(a, arg) = r. a == 0 marks an empty slot.
 type unaryEntry struct {
 	a, r Node
 	arg  int32
 	op   uint8
 }
 
-// satEntry caches satCountRec(n) = c. n < 0 marks an empty slot.
+// satEntry caches satCountRec(n) = c. n == 0 marks an empty slot.
 type satEntry struct {
 	n Node
 	c float64
@@ -100,7 +126,6 @@ const (
 	opRestrictF
 	opRestrictT
 	opExists
-	opSupport
 )
 
 // New creates a manager for numVars boolean variables with the default
@@ -114,6 +139,13 @@ func New(numVars int) *Manager { return NewSized(numVars, DefaultCacheBits) }
 // MaxCacheBits], and 0 (or any out-of-range value on the low side) selects
 // the defaults.
 func NewSized(numVars, cacheBits int) *Manager {
+	m := newShell(numVars, cacheBits)
+	m.seed()
+	return m
+}
+
+// newShell allocates a manager with caches but no nodes.
+func newShell(numVars, cacheBits int) *Manager {
 	if numVars < 0 {
 		panic("bdd: negative variable count")
 	}
@@ -126,50 +158,84 @@ func NewSized(numVars, cacheBits int) *Manager {
 	if cacheBits > MaxCacheBits {
 		cacheBits = MaxCacheBits
 	}
-	m := &Manager{
+	return &Manager{
 		nvars:  int32(numVars),
 		ite:    make([]iteEntry, 1<<cacheBits),
 		apply2: make([]applyEntry, 1<<cacheBits),
 		unary:  make([]unaryEntry, 1<<(cacheBits-2)),
 		sat:    make([]satEntry, 1<<(cacheBits-3)),
 	}
-	for i := range m.ite {
-		m.ite[i].f = -1
+}
+
+// initialTableSize returns the deterministic unique-table size for a fresh
+// manager over numVars variables: large enough to hold the seed prefix well
+// under the growth threshold, and identical for every manager with the same
+// variable count so seeded tables can be shared byte-for-byte.
+func initialTableSize(numVars int) uint32 {
+	size := uint32(1) << 12
+	need := uint32(2+2*numVars) * 2
+	for size < need {
+		size *= 2
 	}
-	for i := range m.apply2 {
-		m.apply2[i].a = -1
+	return size
+}
+
+// seed populates the canonical prefix: terminals at 0/1 (level nvars, one
+// past the last real variable, making level comparisons uniform) and the
+// positive/negative single-variable diagrams at 2+2i / 3+2i.
+func (m *Manager) seed() {
+	size := initialTableSize(int(m.nvars))
+	m.table = make([]int32, size)
+	m.mask = size - 1
+	m.level = append(m.level, m.nvars, m.nvars)
+	m.lohi = append(m.lohi, pack(False, False), pack(True, True))
+	for i := int32(0); i < m.nvars; i++ {
+		m.insert(i, pack(False, True))
+		m.insert(i, pack(True, False))
 	}
-	for i := range m.unary {
-		m.unary[i].a = -1
+	m.seedLen = int32(len(m.level))
+}
+
+// insert appends a node row and links it into the unique table without
+// probing for an existing entry (callers guarantee novelty).
+func (m *Manager) insert(level int32, key uint64) Node {
+	h := hashNode(level, key) & m.mask
+	for m.table[h] != 0 {
+		h = (h + 1) & m.mask
 	}
-	for i := range m.sat {
-		m.sat[i].n = -1
-	}
-	const initialBuckets = 1 << 12
-	m.buckets = make([]int32, initialBuckets)
-	for i := range m.buckets {
-		m.buckets[i] = -1
-	}
-	m.mask = initialBuckets - 1
-	// Terminals occupy slots 0 and 1. Their level is nvars, one past the
-	// last real variable, which makes level comparisons uniform.
-	m.nodes = append(m.nodes,
-		node{level: m.nvars, lo: False, hi: False, nextHash: -1},
-		node{level: m.nvars, lo: True, hi: True, nextHash: -1},
-	)
-	return m
+	idx := int32(len(m.level))
+	m.level = append(m.level, level)
+	m.lohi = append(m.lohi, key)
+	m.table[h] = idx
+	return Node(idx)
 }
 
 // NumVars reports the number of variables the manager was created with.
 func (m *Manager) NumVars() int { return int(m.nvars) }
 
-// Size reports the total number of live nodes (including terminals).
-func (m *Manager) Size() int { return len(m.nodes) }
+// Size reports the total number of live nodes (including terminals and the
+// per-variable seed prefix).
+func (m *Manager) Size() int { return len(m.level) }
 
-func (m *Manager) hash(level int32, lo, hi Node) uint32 {
-	h := uint32(level)*0x9e3779b1 ^ uint32(lo)*0x85ebca6b ^ uint32(hi)*0xc2b2ae35
-	h ^= h >> 16
-	return h & m.mask
+// SeedLen reports the length of the canonical seed prefix (terminals plus
+// the two single-variable diagrams per variable). Handles below SeedLen are
+// identical across every manager with the same variable count.
+func (m *Manager) SeedLen() int { return int(m.seedLen) }
+
+// pack combines two children into one unique-table key / storage word.
+func pack(lo, hi Node) uint64 { return uint64(uint32(lo)) | uint64(uint32(hi))<<32 }
+
+func unpack(w uint64) (lo, hi Node) { return Node(uint32(w)), Node(w >> 32) }
+
+// hashNode scrambles (level, children) into a table index seed
+// (splitmix64-style finalizer over the packed word).
+func hashNode(level int32, key uint64) uint32 {
+	x := key + uint64(uint32(level))*0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return uint32(x ^ x>>33)
 }
 
 // mix3 scrambles an operand triple into a cache index seed.
@@ -181,18 +247,17 @@ func mix3(a, b, c Node) uint32 {
 	return h
 }
 
-func (m *Manager) rehash() {
+// grow doubles the unique table and reinserts every non-terminal node.
+func (m *Manager) grow() {
 	newSize := (m.mask + 1) * 2
-	m.buckets = make([]int32, newSize)
-	for i := range m.buckets {
-		m.buckets[i] = -1
-	}
+	m.table = make([]int32, newSize)
 	m.mask = newSize - 1
-	for i := 2; i < len(m.nodes); i++ {
-		n := &m.nodes[i]
-		h := m.hash(n.level, n.lo, n.hi)
-		n.nextHash = m.buckets[h]
-		m.buckets[h] = int32(i)
+	for i := 2; i < len(m.level); i++ {
+		h := hashNode(m.level[i], m.lohi[i]) & m.mask
+		for m.table[h] != 0 {
+			h = (h + 1) & m.mask
+		}
+		m.table[h] = int32(i)
 	}
 }
 
@@ -202,37 +267,52 @@ func (m *Manager) mk(level int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
-	h := m.hash(level, lo, hi)
-	for i := m.buckets[h]; i >= 0; i = m.nodes[i].nextHash {
-		n := &m.nodes[i]
-		if n.level == level && n.lo == lo && n.hi == hi {
-			return Node(i)
+	key := pack(lo, hi)
+	h := hashNode(level, key) & m.mask
+	for {
+		idx := m.table[h]
+		if idx == 0 {
+			break
+		}
+		if m.lohi[idx] == key && m.level[idx] == level {
+			return Node(idx)
+		}
+		h = (h + 1) & m.mask
+	}
+	// Keep the load factor at or below 3/4 so probe runs stay short.
+	if uint32(len(m.level))*4 >= (m.mask+1)*3 {
+		m.grow()
+		h = hashNode(level, key) & m.mask
+		for m.table[h] != 0 {
+			h = (h + 1) & m.mask
 		}
 	}
-	if len(m.nodes) >= int(m.mask+1)*4 {
-		m.rehash()
-		h = m.hash(level, lo, hi)
-	}
-	idx := int32(len(m.nodes))
-	m.nodes = append(m.nodes, node{level: level, lo: lo, hi: hi, nextHash: m.buckets[h]})
-	m.buckets[h] = idx
+	idx := int32(len(m.level))
+	m.level = append(m.level, level)
+	m.lohi = append(m.lohi, key)
+	m.table[h] = idx
 	return Node(idx)
 }
 
-// Var returns the BDD for variable i.
+// Var returns the BDD for variable i. Thanks to the seeded prefix this is
+// pure arithmetic — no unique-table probe — and small enough to inline.
 func (m *Manager) Var(i int) Node {
-	if i < 0 || int32(i) >= m.nvars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	if uint32(i) >= uint32(m.nvars) {
+		badVar(i, m.nvars)
 	}
-	return m.mk(int32(i), False, True)
+	return Node(2 + 2*int32(i))
 }
 
 // NVar returns the BDD for the negation of variable i.
 func (m *Manager) NVar(i int) Node {
-	if i < 0 || int32(i) >= m.nvars {
-		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.nvars))
+	if uint32(i) >= uint32(m.nvars) {
+		badVar(i, m.nvars)
 	}
-	return m.mk(int32(i), True, False)
+	return Node(3 + 2*int32(i))
+}
+
+func badVar(i int, nvars int32) {
+	panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, nvars))
 }
 
 // Const returns True or False.
@@ -244,13 +324,13 @@ func (m *Manager) Const(b bool) Node {
 }
 
 // Level reports the decision variable of n, or NumVars for terminals.
-func (m *Manager) Level(n Node) int { return int(m.nodes[n].level) }
+func (m *Manager) Level(n Node) int { return int(m.level[n]) }
 
 // Low returns the low (variable=false) child of n.
-func (m *Manager) Low(n Node) Node { return m.nodes[n].lo }
+func (m *Manager) Low(n Node) Node { lo, _ := unpack(m.lohi[n]); return lo }
 
 // High returns the high (variable=true) child of n.
-func (m *Manager) High(n Node) Node { return m.nodes[n].hi }
+func (m *Manager) High(n Node) Node { _, hi := unpack(m.lohi[n]); return hi }
 
 // Not returns the complement of a.
 func (m *Manager) Not(a Node) Node {
@@ -262,10 +342,15 @@ func (m *Manager) Not(a Node) Node {
 	}
 	e := &m.unary[mix3(a, Node(opNot), 0)&uint32(len(m.unary)-1)]
 	if e.a == a && e.op == opNot && e.arg == 0 {
+		m.hits++
 		return e.r
 	}
-	n := m.nodes[a]
-	r := m.mk(n.level, m.Not(n.lo), m.Not(n.hi))
+	m.misses++
+	lo, hi := unpack(m.lohi[a])
+	r := m.mk(m.level[a], m.Not(lo), m.Not(hi))
+	if e.a != 0 {
+		m.overwrites++
+	}
 	*e = unaryEntry{a: a, r: r, arg: 0, op: opNot}
 	return r
 }
@@ -285,7 +370,12 @@ func (m *Manager) And(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	return m.applyCached(opAnd, a, b)
+	e := &m.apply2[mix3(a, b, Node(opAnd))&uint32(len(m.apply2)-1)]
+	if e.a == a && e.b == b && e.op == opAnd {
+		m.hits++
+		return e.r
+	}
+	return m.applyMiss(opAnd, a, b, e)
 }
 
 // Or returns the disjunction of a and b.
@@ -303,7 +393,12 @@ func (m *Manager) Or(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	return m.applyCached(opOr, a, b)
+	e := &m.apply2[mix3(a, b, Node(opOr))&uint32(len(m.apply2)-1)]
+	if e.a == a && e.b == b && e.op == opOr {
+		m.hits++
+		return e.r
+	}
+	return m.applyMiss(opOr, a, b, e)
 }
 
 // Xor returns the exclusive-or of a and b.
@@ -323,33 +418,40 @@ func (m *Manager) Xor(a, b Node) Node {
 	if a > b {
 		a, b = b, a
 	}
-	return m.applyCached(opXor, a, b)
-}
-
-// applyCached consults the lossy binary-operation cache before recursing.
-func (m *Manager) applyCached(op uint8, a, b Node) Node {
-	e := &m.apply2[mix3(a, b, Node(op))&uint32(len(m.apply2)-1)]
-	if e.a == a && e.b == b && e.op == op {
+	e := &m.apply2[mix3(a, b, Node(opXor))&uint32(len(m.apply2)-1)]
+	if e.a == a && e.b == b && e.op == opXor {
+		m.hits++
 		return e.r
 	}
+	return m.applyMiss(opXor, a, b, e)
+}
+
+// applyMiss is the out-of-line slow path of the binary ops: recurse, then
+// fill the probed slot. Keeping it out of And/Or/Xor keeps their cache-hit
+// path one probe with no extra call frame.
+func (m *Manager) applyMiss(op uint8, a, b Node, e *applyEntry) Node {
+	m.misses++
 	r := m.applyRec(op, a, b)
+	if e.a != 0 {
+		m.overwrites++
+	}
 	*e = applyEntry{a: a, b: b, r: r, op: op}
 	return r
 }
 
 func (m *Manager) applyRec(op uint8, a, b Node) Node {
-	na, nb := m.nodes[a], m.nodes[b]
-	level := na.level
-	if nb.level < level {
-		level = nb.level
+	la, lb := m.level[a], m.level[b]
+	level := la
+	if lb < level {
+		level = lb
 	}
 	alo, ahi := a, a
-	if na.level == level {
-		alo, ahi = na.lo, na.hi
+	if la == level {
+		alo, ahi = unpack(m.lohi[a])
 	}
 	blo, bhi := b, b
-	if nb.level == level {
-		blo, bhi = nb.lo, nb.hi
+	if lb == level {
+		blo, bhi = unpack(m.lohi[b])
 	}
 	var lo, hi Node
 	switch op {
@@ -387,29 +489,34 @@ func (m *Manager) ITE(f, g, h Node) Node {
 	}
 	e := &m.ite[mix3(f, g, h)&uint32(len(m.ite)-1)]
 	if e.f == f && e.g == g && e.h == h {
+		m.hits++
 		return e.r
 	}
-	nf, ng, nh := m.nodes[f], m.nodes[g], m.nodes[h]
-	level := nf.level
-	if ng.level < level {
-		level = ng.level
+	m.misses++
+	lf, lg, lh := m.level[f], m.level[g], m.level[h]
+	level := lf
+	if lg < level {
+		level = lg
 	}
-	if nh.level < level {
-		level = nh.level
+	if lh < level {
+		level = lh
 	}
 	flo, fhi := f, f
-	if nf.level == level {
-		flo, fhi = nf.lo, nf.hi
+	if lf == level {
+		flo, fhi = unpack(m.lohi[f])
 	}
 	glo, ghi := g, g
-	if ng.level == level {
-		glo, ghi = ng.lo, ng.hi
+	if lg == level {
+		glo, ghi = unpack(m.lohi[g])
 	}
 	hlo, hhi := h, h
-	if nh.level == level {
-		hlo, hhi = nh.lo, nh.hi
+	if lh == level {
+		hlo, hhi = unpack(m.lohi[h])
 	}
 	r := m.mk(level, m.ITE(flo, glo, hlo), m.ITE(fhi, ghi, hhi))
+	if e.f != 0 {
+		m.overwrites++
+	}
 	*e = iteEntry{f: f, g: g, h: h, r: r}
 	return r
 }
@@ -419,8 +526,8 @@ func (m *Manager) Restrict(n Node, v int, val bool) Node {
 	if n <= True {
 		return n
 	}
-	nn := m.nodes[n]
-	if nn.level > int32(v) {
+	ln := m.level[n]
+	if ln > int32(v) {
 		return n
 	}
 	op := opRestrictF
@@ -429,17 +536,23 @@ func (m *Manager) Restrict(n Node, v int, val bool) Node {
 	}
 	e := &m.unary[mix3(n, Node(op), Node(v))&uint32(len(m.unary)-1)]
 	if e.a == n && e.op == op && e.arg == int32(v) {
+		m.hits++
 		return e.r
 	}
+	m.misses++
+	lo, hi := unpack(m.lohi[n])
 	var r Node
-	if nn.level == int32(v) {
+	if ln == int32(v) {
 		if val {
-			r = nn.hi
+			r = hi
 		} else {
-			r = nn.lo
+			r = lo
 		}
 	} else {
-		r = m.mk(nn.level, m.Restrict(nn.lo, v, val), m.Restrict(nn.hi, v, val))
+		r = m.mk(ln, m.Restrict(lo, v, val), m.Restrict(hi, v, val))
+	}
+	if e.a != 0 {
+		m.overwrites++
 	}
 	*e = unaryEntry{a: n, r: r, arg: int32(v), op: op}
 	return r
@@ -450,19 +563,25 @@ func (m *Manager) Exists(n Node, v int) Node {
 	if n <= True {
 		return n
 	}
-	nn := m.nodes[n]
-	if nn.level > int32(v) {
+	ln := m.level[n]
+	if ln > int32(v) {
 		return n
 	}
 	e := &m.unary[mix3(n, Node(opExists), Node(v))&uint32(len(m.unary)-1)]
 	if e.a == n && e.op == opExists && e.arg == int32(v) {
+		m.hits++
 		return e.r
 	}
+	m.misses++
+	lo, hi := unpack(m.lohi[n])
 	var r Node
-	if nn.level == int32(v) {
-		r = m.Or(nn.lo, nn.hi)
+	if ln == int32(v) {
+		r = m.Or(lo, hi)
 	} else {
-		r = m.mk(nn.level, m.Exists(nn.lo, v), m.Exists(nn.hi, v))
+		r = m.mk(ln, m.Exists(lo, v), m.Exists(hi, v))
+	}
+	if e.a != 0 {
+		m.overwrites++
 	}
 	*e = unaryEntry{a: n, r: r, arg: int32(v), op: opExists}
 	return r
@@ -479,11 +598,11 @@ func (m *Manager) ExistsMany(n Node, vars []int) Node {
 // Eval evaluates n under a complete assignment (indexed by variable).
 func (m *Manager) Eval(n Node, assign []bool) bool {
 	for n > True {
-		nn := m.nodes[n]
-		if assign[nn.level] {
-			n = nn.hi
+		lo, hi := unpack(m.lohi[n])
+		if assign[m.level[n]] {
+			n = hi
 		} else {
-			n = nn.lo
+			n = lo
 		}
 	}
 	return n == True
@@ -492,7 +611,7 @@ func (m *Manager) Eval(n Node, assign []bool) bool {
 // SatCount returns the number of satisfying assignments of n over all
 // NumVars variables, as a float64 (exact for counts below 2^53).
 func (m *Manager) SatCount(n Node) float64 {
-	return m.satCountRec(n) * pow2(int(m.nodes[n].level))
+	return m.satCountRec(n) * pow2(int(m.level[n]))
 }
 
 func (m *Manager) satCountRec(n Node) float64 {
@@ -504,12 +623,18 @@ func (m *Manager) satCountRec(n Node) float64 {
 	}
 	e := &m.sat[mix3(n, 0, 0)&uint32(len(m.sat)-1)]
 	if e.n == n {
+		m.hits++
 		return e.c
 	}
-	nn := m.nodes[n]
-	lo := m.satCountRec(nn.lo) * pow2(int(m.nodes[nn.lo].level-nn.level-1))
-	hi := m.satCountRec(nn.hi) * pow2(int(m.nodes[nn.hi].level-nn.level-1))
+	m.misses++
+	ln := m.level[n]
+	nlo, nhi := unpack(m.lohi[n])
+	lo := m.satCountRec(nlo) * pow2(int(m.level[nlo]-ln-1))
+	hi := m.satCountRec(nhi) * pow2(int(m.level[nhi]-ln-1))
 	c := lo + hi
+	if e.n != 0 {
+		m.overwrites++
+	}
 	*e = satEntry{n: n, c: c}
 	return c
 }
@@ -530,12 +655,12 @@ func (m *Manager) AnySat(n Node) ([]bool, bool) {
 	}
 	assign := make([]bool, m.nvars)
 	for n > True {
-		nn := m.nodes[n]
-		if nn.hi != False {
-			assign[nn.level] = true
-			n = nn.hi
+		lo, hi := unpack(m.lohi[n])
+		if hi != False {
+			assign[m.level[n]] = true
+			n = hi
 		} else {
-			n = nn.lo
+			n = lo
 		}
 	}
 	return assign, true
@@ -551,9 +676,10 @@ func (m *Manager) Support(n Node) []int {
 			return
 		}
 		seen[x] = true
-		vars[int(m.nodes[x].level)] = true
-		walk(m.nodes[x].lo)
-		walk(m.nodes[x].hi)
+		vars[int(m.level[x])] = true
+		lo, hi := unpack(m.lohi[x])
+		walk(lo)
+		walk(hi)
 	}
 	walk(n)
 	out := make([]int, 0, len(vars))
@@ -584,11 +710,41 @@ func (m *Manager) NodeCount(n Node) int {
 			return
 		}
 		seen[x] = true
-		walk(m.nodes[x].lo)
-		walk(m.nodes[x].hi)
+		lo, hi := unpack(m.lohi[x])
+		walk(lo)
+		walk(hi)
 	}
 	walk(n)
 	return len(seen)
+}
+
+// Stats is a point-in-time snapshot of a manager's storage and op-cache
+// behaviour. Counters are cumulative over the manager's lifetime.
+type Stats struct {
+	Nodes       int // live nodes, including terminals and the seed prefix
+	SeedNodes   int
+	UniqueSlots int     // unique-table capacity
+	LoadFactor  float64 // Nodes / UniqueSlots
+
+	CacheHits       uint64 // op-cache probes answered without recursion
+	CacheMisses     uint64 // probes that fell through to the recursion
+	CacheOverwrites uint64 // stores that evicted a colliding entry
+}
+
+// Stats reports the manager's current storage and cache counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		Nodes:           len(m.level),
+		SeedNodes:       int(m.seedLen),
+		UniqueSlots:     len(m.table),
+		CacheHits:       m.hits,
+		CacheMisses:     m.misses,
+		CacheOverwrites: m.overwrites,
+	}
+	if s.UniqueSlots > 0 {
+		s.LoadFactor = float64(s.Nodes) / float64(s.UniqueSlots)
+	}
+	return s
 }
 
 // Close releases the manager's unique table and operation caches so a
@@ -598,6 +754,6 @@ func (m *Manager) NodeCount(n Node) int {
 // nil tables, which turns use-after-close into a loud bug instead of a
 // silent corruption. Close is idempotent.
 func (m *Manager) Close() {
-	m.nodes, m.buckets = nil, nil
+	m.level, m.lohi, m.table = nil, nil, nil
 	m.ite, m.apply2, m.unary, m.sat = nil, nil, nil, nil
 }

@@ -14,8 +14,16 @@ func TestTerminals(t *testing.T) {
 	if m.Not(True) != False || m.Not(False) != True {
 		t.Fatal("not of terminals wrong")
 	}
-	if m.Size() != 2 {
-		t.Fatalf("fresh manager size = %d, want 2", m.Size())
+	// A fresh manager holds the two terminals plus the seeded
+	// single-variable diagrams (Var/NVar per variable).
+	if want := 2 + 2*4; m.Size() != want {
+		t.Fatalf("fresh manager size = %d, want %d", m.Size(), want)
+	}
+	if m.SeedLen() != m.Size() {
+		t.Fatalf("seed prefix %d != fresh size %d", m.SeedLen(), m.Size())
+	}
+	if m.Var(2) != Node(2+2*2) || m.NVar(2) != Node(3+2*2) {
+		t.Fatal("seeded variable handles not at canonical indices")
 	}
 }
 

@@ -1,0 +1,95 @@
+package bdd
+
+import "fmt"
+
+// Subgraph export/import.
+//
+// A serialized BDD is a flat list of (level, loRef, hiRef) uint32 triples in
+// child-before-parent order plus one ref per root. A ref below SeedLen is a
+// literal canonical handle (terminal or single-variable seed) — stable
+// across managers with the same variable count — and a ref at or above
+// SeedLen addresses the (ref-SeedLen)-th exported triple. Import replays
+// the triples through mk, so loaded nodes re-canonicalise against whatever
+// the destination manager already holds; handles in the destination need
+// not (and generally will not) match the source.
+
+// Export encodes the non-seed subgraph reachable from roots. It returns
+// the packed triples and one ref per root, in the encoding above.
+func (m *Manager) Export(roots []Node) (nodes []uint32, rootRefs []uint32) {
+	ref := make(map[Node]uint32, 64)
+	rootRefs = make([]uint32, len(roots))
+	var visit func(n Node) uint32
+	visit = func(n Node) uint32 {
+		if n < Node(m.seedLen) {
+			return uint32(n)
+		}
+		if r, ok := ref[n]; ok {
+			return r
+		}
+		lo, hi := unpack(m.lohi[n])
+		loRef := visit(lo)
+		hiRef := visit(hi)
+		r := uint32(m.seedLen) + uint32(len(nodes)/3)
+		nodes = append(nodes, uint32(m.level[n]), loRef, hiRef)
+		ref[n] = r
+		return r
+	}
+	for i, n := range roots {
+		rootRefs[i] = visit(n)
+	}
+	return nodes, rootRefs
+}
+
+// Import rebuilds an exported subgraph in this manager and resolves the
+// given root refs. Every structural invariant is checked — levels in
+// range, refs pointing only at seeds or earlier triples, children strictly
+// below their parent, no redundant (lo==hi) triples — so corrupt input
+// yields an error, never a malformed diagram.
+func (m *Manager) Import(nodes []uint32, rootRefs []uint32) ([]Node, error) {
+	if len(nodes)%3 != 0 {
+		return nil, fmt.Errorf("bdd: import: node array length %d not a multiple of 3", len(nodes))
+	}
+	count := len(nodes) / 3
+	seedLen := uint32(m.seedLen)
+	mapped := make([]Node, count)
+	resolve := func(ref uint32, before int) (Node, error) {
+		if ref < seedLen {
+			return Node(ref), nil
+		}
+		idx := ref - seedLen
+		if int(idx) >= before {
+			return 0, fmt.Errorf("bdd: import: ref %d out of range (%d nodes resolvable)", ref, before)
+		}
+		return mapped[idx], nil
+	}
+	for i := 0; i < count; i++ {
+		level := nodes[3*i]
+		if level >= uint32(m.nvars) {
+			return nil, fmt.Errorf("bdd: import: node %d level %d out of range [0,%d)", i, level, m.nvars)
+		}
+		lo, err := resolve(nodes[3*i+1], i)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := resolve(nodes[3*i+2], i)
+		if err != nil {
+			return nil, err
+		}
+		if lo == hi {
+			return nil, fmt.Errorf("bdd: import: node %d is redundant (lo == hi)", i)
+		}
+		if uint32(m.level[lo]) <= level || uint32(m.level[hi]) <= level {
+			return nil, fmt.Errorf("bdd: import: node %d violates variable order", i)
+		}
+		mapped[i] = m.mk(int32(level), lo, hi)
+	}
+	out := make([]Node, len(rootRefs))
+	for i, r := range rootRefs {
+		n, err := resolve(r, count)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,63 @@
+package bdd
+
+// Space is a shared canonical constant/leaf space: the seed prefix
+// (terminals plus every single-variable diagram) and the unique table that
+// indexes it, built once and stamped into any number of Managers. Workers
+// that each need a private manager over the same variable universe get a
+// lightweight view — NewManager copies three flat arrays instead of
+// re-hashing 2+2n seed nodes — while the seed handles stay globally
+// canonical: Var(i) and NVar(i) are the same Node value in every manager of
+// the space (and indeed in every manager with the same variable count).
+//
+// A Space is immutable after construction and safe for concurrent use; the
+// Managers it produces follow the usual single-goroutine ownership contract.
+type Space struct {
+	nvars     int32
+	seedLevel []int32
+	seedLohi  []uint64
+	seedTable []int32
+	seedMask  uint32
+}
+
+// NewSpace builds the canonical seed space for numVars variables.
+func NewSpace(numVars int) *Space {
+	m := newShell(numVars, MinCacheBits)
+	m.seed()
+	return &Space{
+		nvars:     m.nvars,
+		seedLevel: m.level,
+		seedLohi:  m.lohi,
+		seedTable: m.table,
+		seedMask:  m.mask,
+	}
+}
+
+// NumVars reports the variable count of the space.
+func (s *Space) NumVars() int { return int(s.nvars) }
+
+// SeedLen reports the length of the canonical seed prefix.
+func (s *Space) SeedLen() int { return len(s.seedLevel) }
+
+// NewManager stamps out a manager over the space with the default
+// operation-cache geometry.
+func (s *Space) NewManager() *Manager { return s.NewManagerSized(DefaultCacheBits) }
+
+// NewManagerSized stamps out a manager over the space whose operation
+// caches hold 2^cacheBits slots (see NewSized for the clamping rules). The
+// new manager starts with the space's seed prefix and a private copy of the
+// seeded unique table.
+func (s *Space) NewManagerSized(cacheBits int) *Manager {
+	m := newShell(int(s.nvars), cacheBits)
+	m.space = s
+	m.seedLen = int32(len(s.seedLevel))
+	m.level = append(make([]int32, 0, len(s.seedLevel)+1024), s.seedLevel...)
+	m.lohi = append(make([]uint64, 0, len(s.seedLohi)+1024), s.seedLohi...)
+	m.table = append([]int32(nil), s.seedTable...)
+	m.mask = s.seedMask
+	return m
+}
+
+// Space returns the shared space this manager was stamped from, or nil for
+// a standalone manager. Seed handles agree either way when variable counts
+// match; the pointer is only useful as a cheap identity check.
+func (m *Manager) Space() *Space { return m.space }

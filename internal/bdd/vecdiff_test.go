@@ -1,0 +1,210 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randVec builds a width-long vector of random expressions and returns the
+// matching evaluator slice.
+func randVec(m *Manager, rng *rand.Rand, width, depth int) (Vec, []func([]bool) bool) {
+	v := make(Vec, width)
+	fs := make([]func([]bool) bool, width)
+	for i := range v {
+		// Mix in terminals and duplicates so the batched fast paths
+		// (gi==hi, constant elements, intra-batch dedup) all fire.
+		switch rng.Intn(8) {
+		case 0:
+			v[i], fs[i] = False, func([]bool) bool { return false }
+		case 1:
+			v[i], fs[i] = True, func([]bool) bool { return true }
+		case 2:
+			if i > 0 {
+				v[i], fs[i] = v[i-1], fs[i-1]
+				continue
+			}
+			fallthrough
+		default:
+			v[i], fs[i] = randomExpr(m, rng, depth)
+		}
+	}
+	return v, fs
+}
+
+// TestVecBatchedMatchesScalar is the differential gauntlet for the batched
+// vector operators: because the unique table is canonical, ITEVec, AndVec,
+// and EqVec must return handles *identical* (not merely equivalent) to the
+// element-wise scalar loops, across randomized vectors that exercise
+// terminals, shared elements, and deep recursion.
+func TestVecBatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 200; round++ {
+		m := New(12)
+		width := 1 + rng.Intn(33)
+		f, _ := randomExpr(m, rng, 4)
+		g, _ := randVec(m, rng, width, 4)
+		h, _ := randVec(m, rng, width, 4)
+
+		batched := m.ITEVec(f, g, h)
+		for i := range g {
+			if want := m.ITE(f, g[i], h[i]); batched[i] != want {
+				t.Fatalf("round %d: ITEVec[%d] = %d, scalar ITE = %d", round, i, batched[i], want)
+			}
+		}
+
+		av := m.AndVec(f, g)
+		for i := range g {
+			if want := m.And(f, g[i]); av[i] != want {
+				t.Fatalf("round %d: AndVec[%d] = %d, scalar And = %d", round, i, av[i], want)
+			}
+		}
+
+		eq := m.EqVec(g, h)
+		want := True
+		for i := range g {
+			want = m.And(want, m.Equiv(g[i], h[i]))
+		}
+		if eq != want {
+			t.Fatalf("round %d: EqVec = %d, scalar fold = %d", round, eq, want)
+		}
+		m.Close()
+	}
+}
+
+// TestVecBatchedColdVsWarm runs the batched operator on a cold manager and
+// the scalar loop on a separate warm one, checking semantic equality via
+// exhaustive evaluation — this rules out results that are only identical
+// because both paths consulted the same (possibly stale) op-cache entry.
+func TestVecBatchedColdVsWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nv = 6
+	assign := make([]bool, nv)
+	for round := 0; round < 50; round++ {
+		seed := rng.Int63()
+		m1 := New(nv)
+		r1 := rand.New(rand.NewSource(seed))
+		f1, _ := randomExpr(m1, r1, 4)
+		g1, _ := randVec(m1, r1, 8, 4)
+		h1, _ := randVec(m1, r1, 8, 4)
+		batched := m1.ITEVec(f1, g1, h1)
+
+		m2 := New(nv)
+		r2 := rand.New(rand.NewSource(seed))
+		f2, _ := randomExpr(m2, r2, 4)
+		g2, _ := randVec(m2, r2, 8, 4)
+		h2, _ := randVec(m2, r2, 8, 4)
+		scalar := make(Vec, len(g2))
+		for i := range g2 {
+			scalar[i] = m2.ITE(f2, g2[i], h2[i])
+		}
+
+		for bits := 0; bits < 1<<nv; bits++ {
+			for v := 0; v < nv; v++ {
+				assign[v] = bits&(1<<v) != 0
+			}
+			for i := range batched {
+				if m1.Eval(batched[i], assign) != m2.Eval(scalar[i], assign) {
+					t.Fatalf("round %d: bit %d differs under assignment %06b", round, i, bits)
+				}
+			}
+		}
+		m1.Close()
+		m2.Close()
+	}
+}
+
+// TestExportImportRoundTrip checks that the serialized node form survives a
+// trip into a fresh manager: imported roots are semantically identical and
+// the re-exported byte stream is reproduced exactly.
+func TestExportImportRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const nv = 10
+	m := New(nv)
+	roots := make([]Node, 0, 16)
+	evals := make([]func([]bool) bool, 0, 16)
+	for i := 0; i < 16; i++ {
+		n, f := randomExpr(m, rng, 6)
+		roots = append(roots, n)
+		evals = append(evals, f)
+	}
+	nodes, refs := m.Export(roots)
+
+	m2 := New(nv)
+	got, err := m2.Import(nodes, refs)
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if len(got) != len(roots) {
+		t.Fatalf("imported %d roots, want %d", len(got), len(roots))
+	}
+	assign := make([]bool, nv)
+	for trial := 0; trial < 500; trial++ {
+		for v := range assign {
+			assign[v] = rng.Intn(2) == 1
+		}
+		for i, n := range got {
+			if m2.Eval(n, assign) != evals[i](assign) {
+				t.Fatalf("trial %d: imported root %d disagrees with source", trial, i)
+			}
+		}
+	}
+	// Canonicality: exporting the imported roots reproduces the stream.
+	nodes2, refs2 := m2.Export(got)
+	if len(nodes2) != len(nodes) {
+		t.Fatalf("re-export has %d words, want %d", len(nodes2), len(nodes))
+	}
+	for i := range nodes {
+		if nodes[i] != nodes2[i] {
+			t.Fatalf("re-export diverges at word %d", i)
+		}
+	}
+	for i := range refs {
+		if refs[i] != refs2[i] {
+			t.Fatalf("re-export root ref %d diverges", i)
+		}
+	}
+}
+
+// TestImportRejectsMalformed feeds the importer damaged streams; each must
+// be rejected with an error rather than a panic or a silently wrong node.
+func TestImportRejectsMalformed(t *testing.T) {
+	m := New(4)
+	a := m.And(m.Var(0), m.Or(m.Var(1), m.NVar(2)))
+	b := m.Xor(m.Var(2), m.Var(3))
+	nodes, refs := m.Export([]Node{a, b})
+
+	mangle := func(fn func(n []uint32, r []uint32) ([]uint32, []uint32)) error {
+		n := append([]uint32(nil), nodes...)
+		r := append([]uint32(nil), refs...)
+		n, r = fn(n, r)
+		m2 := New(4)
+		defer m2.Close()
+		_, err := m2.Import(n, r)
+		return err
+	}
+
+	cases := []struct {
+		name string
+		fn   func(n, r []uint32) ([]uint32, []uint32)
+	}{
+		{"truncated nodes", func(n, r []uint32) ([]uint32, []uint32) { return n[:len(n)-3], r }},
+		{"ragged length", func(n, r []uint32) ([]uint32, []uint32) { return n[:len(n)-1], r }},
+		{"forward ref", func(n, r []uint32) ([]uint32, []uint32) {
+			n[1] = uint32(m.SeedLen()) + uint32(len(n)/3)
+			return n, r
+		}},
+		{"root out of range", func(n, r []uint32) ([]uint32, []uint32) {
+			r[0] = uint32(m.SeedLen()) + uint32(len(n)/3) + 7
+			return n, r
+		}},
+		{"bad level", func(n, r []uint32) ([]uint32, []uint32) {
+			n[0] = 1 << 30
+			return n, r
+		}},
+	}
+	for _, tc := range cases {
+		if err := mangle(tc.fn); err == nil {
+			t.Fatalf("%s: malformed stream imported without error", tc.name)
+		}
+	}
+}

@@ -87,6 +87,7 @@ func CompressSet(gen func() *config.Network, maxClasses int, dedup bool) func(b 
 		b.ReportMetric(float64(last.NumAbstractNodes()), "absNodes")
 		b.ReportMetric(float64(last.NumAbstractEdges()), "absLinks")
 		b.ReportMetric(float64(bd.G.NumNodes())/float64(last.NumAbstractNodes()), "nodeRatio")
+		reportBDD(b, comp.M.Stats())
 		if dedup {
 			b.ReportMetric(float64(st.Fresh), "freshAbs")
 			b.ReportMetric(float64(st.Transported), "transportedAbs")
@@ -124,6 +125,19 @@ func FreshClass(gen func() *config.Network, classIdx int) func(b *testing.B) {
 		}
 		b.StopTimer()
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/class")
+		reportBDD(b, comp.M.Stats())
+	}
+}
+
+// reportBDD surfaces the BDD layer's capacity and op-cache behavior next to
+// each case's timing: the final unique-table node count is the working-set
+// size the SoA layout has to hold, and the overwrite rate (direct-mapped
+// cache fills that evicted a live entry, per miss) is the thrash signal that
+// says when the op caches are undersized for the workload.
+func reportBDD(b *testing.B, s bdd.Stats) {
+	b.ReportMetric(float64(s.Nodes), "bddNodes")
+	if s.CacheMisses > 0 {
+		b.ReportMetric(float64(s.CacheOverwrites)/float64(s.CacheMisses), "bddOverwriteRate")
 	}
 }
 
@@ -180,11 +194,120 @@ func BuildAdder(m *bdd.Manager, nbits int) (sum, carry bdd.Node) {
 func BDDAdder(nbits int) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
+		var last bdd.Stats
 		for i := 0; i < b.N; i++ {
 			m := bdd.New(2 * nbits)
 			_, carry := BuildAdder(m, nbits)
 			if m.SatCount(carry) == 0 {
 				b.Fatal("unsatisfiable carry")
+			}
+			last = m.Stats()
+		}
+		reportBDD(b, last)
+	}
+}
+
+// BDDVec benchmarks the batched vector operators against the element-wise
+// scalar loop on the policy compiler's workload shape (paper Figure 10): a
+// chain of guarded constant assignments into a width-bit local-preference
+// vector (ITEVec), masked by a keep guard (AndVec) and bound to output
+// variables (EqVec). The batched/scalar pair of cases in BENCH JSON is the
+// standing record of the vector-apply win; node-identity of the two paths
+// is enforced by TestVecBatchedMatchesScalar in internal/bdd.
+func BDDVec(width int, batched bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		m := bdd.New(12 + width)
+		outs := make([]int, width)
+		for j := range outs {
+			outs[j] = 12 + j
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Iteration-varying constants keep the op caches missing the way
+			// a real compile does; the guard structure reuses a fixed
+			// variable pool so the unique table stays bounded.
+			base := uint64(i)*2654435761 + 12345
+			v := m.ConstVec(base&(1<<width-1), width)
+			for k := 0; k < 6; k++ {
+				f := m.And(m.Var(2*k), m.Or(m.Var(2*k+1), m.NVar((2*k+5)%12)))
+				cv := m.ConstVec((base>>uint(k+3))&(1<<width-1), width)
+				if batched {
+					v = m.ITEVec(f, cv, v)
+				} else {
+					nv := make(bdd.Vec, width)
+					for j := range v {
+						nv[j] = m.ITE(f, cv[j], v[j])
+					}
+					v = nv
+				}
+			}
+			var rel bdd.Node
+			if batched {
+				rel = m.EqVec(m.VarVec(outs), m.AndVec(m.Var(1), v))
+			} else {
+				rel = bdd.True
+				for j := range v {
+					rel = m.And(rel, m.Equiv(m.Var(outs[j]), m.And(m.Var(1), v[j])))
+				}
+			}
+			if rel == bdd.False {
+				b.Fatal("vector workload collapsed")
+			}
+		}
+		b.StopTimer()
+		reportBDD(b, m.Stats())
+	}
+}
+
+// RelStoreRestart benchmarks process restart with and without the persisted
+// relation store: each iteration rebuilds the network and compresses every
+// class, with the warm variant first installing a previously serialized
+// store so every class is served from cache instead of refined. The
+// cold/warm ns/op ratio in BENCH JSON is the standing record of the
+// warm-restart win (the >= 5x acceptance bar at fattree-2000 scale).
+func RelStoreRestart(gen func() *config.Network, warm bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ctx := context.Background()
+		var data []byte
+		if warm {
+			bd, err := build.New(gen())
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp := bd.NewCompiler(true)
+			for _, cls := range bd.Classes() {
+				if _, err := bd.Compress(ctx, comp, cls); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := bd.SaveRelationStore(&buf, comp); err != nil {
+				b.Fatal(err)
+			}
+			data = buf.Bytes()
+			b.ReportMetric(float64(len(data)), "storeBytes")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bd, err := build.New(gen())
+			if err != nil {
+				b.Fatal(err)
+			}
+			comp := bd.NewCompiler(true)
+			if warm {
+				if _, err := bd.LoadRelationStore(bytes.NewReader(data), comp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, cls := range bd.Classes() {
+				if _, err := bd.Compress(ctx, comp, cls); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st := bd.AbstractionCacheStats(); warm && st.Fresh != 0 {
+				b.Fatalf("warm restart ran %d fresh refinements", st.Fresh)
 			}
 		}
 	}
@@ -602,6 +725,20 @@ func Cases(smoke bool) []Case {
 	}
 
 	add("bdd/adder64", BDDAdder(64))
+	add("bdd/vec16/batched", BDDVec(16, true))
+	add("bdd/vec16/scalar", BDDVec(16, false))
+
+	// Warm restart from the persisted relation store versus cold compile of
+	// the same class set. Non-smoke runs at fattree-500; the fattree-2000
+	// acceptance point is recorded in EXPERIMENTS.md (it is too slow for a
+	// per-run baseline).
+	relK := 20
+	if smoke {
+		relK = 8
+	}
+	genRel := func() *config.Network { return netgen.Fattree(relK, netgen.PolicyShortestPath) }
+	add(fmt.Sprintf("relstore/fattree/nodes=%d/cold", 5*relK*relK/4), RelStoreRestart(genRel, false))
+	add(fmt.Sprintf("relstore/fattree/nodes=%d/warm", 5*relK*relK/4), RelStoreRestart(genRel, true))
 	return cs
 }
 

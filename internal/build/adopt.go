@@ -642,36 +642,6 @@ func (ad *adoption) repEdgesSurvive(abs *core.Abstraction) bool {
 	return true
 }
 
-// AdoptCompilerCaches re-registers the canonical-relation caches of another
-// Builder's compilers with this one, so a compiler pool outliving a
-// configuration delta keeps its compiled-policy tables. Entries are keyed
-// by policy namespace pointer and route-map name; a delta that edits a
-// router's policies replaces that router's Env wholesale (config.CloneEnv),
-// so stale entries are unreachable rather than wrong.
-func (b *Builder) AdoptCompilerCaches(old *Builder) {
-	old.mu.Lock()
-	comps := make([]*policy.Compiler, len(old.compOrder))
-	caches := make([]*compilerCache, len(old.compOrder))
-	for i, c := range old.compOrder {
-		comps[i], caches[i] = c, old.compCaches[c]
-	}
-	old.mu.Unlock()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, c := range comps {
-		if _, ok := b.compCaches[c]; ok || caches[i] == nil {
-			continue
-		}
-		b.compCaches[c] = caches[i]
-		b.compOrder = append(b.compOrder, c)
-	}
-	for len(b.compOrder) > maxCompilerCaches {
-		oldest := b.compOrder[0]
-		b.compOrder = b.compOrder[1:]
-		delete(b.compCaches, oldest)
-	}
-}
-
 // install records an adopted abstraction in b's store under sig. Adopted
 // entries serve identity hits and future adoptions but are not symmetry
 // transport seeds (their label/color tables are left uncomputed to keep

@@ -90,9 +90,13 @@ type Builder struct {
 	lpOnce sync.Once
 	lpUsed bool // some session route map sets a local preference (adopt.go)
 
+	// Shared compilation universes (policy.Space): the canonical BDD
+	// constant space per universe, built once so stamping a per-worker
+	// compiler copies three flat arrays instead of re-deriving the
+	// vocabulary. Index 0 = full universe, 1 = erased.
+	polSpaces [2]*policy.Space
+
 	mu         sync.Mutex
-	compCaches map[*policy.Compiler]*compilerCache
-	compOrder  []*policy.Compiler // registration order, for eviction
 	roleCache  map[[2]bool]int
 	matchedSet map[protocols.Community]bool
 
@@ -123,14 +127,6 @@ type Builder struct {
 	nc     int // NumClasses memo
 }
 
-// maxCompilerCaches bounds the compiler->cache registry. Workflows that
-// create a short-lived compiler per query (verify.Reach does) would
-// otherwise pin every dead compiler's BDD tables forever; evicting the
-// oldest registrations keeps the Builder usable as a long-lived service.
-// The bound comfortably exceeds any realistic worker count, so caches of
-// compilers still in use are not evicted in practice.
-const maxCompilerCaches = 64
-
 // New validates the network and constructs its Builder: the SRP graph, the
 // per-edge protocol tables and the shared community universes.
 func New(net *config.Network) (*Builder, error) {
@@ -145,7 +141,6 @@ func New(net *config.Network) (*Builder, error) {
 		G:          topo.New(),
 		bgpSess:    make(map[topo.Edge]bgpSession),
 		ospfAdj:    make(map[topo.Edge]ospfAdj),
-		compCaches: make(map[*policy.Compiler]*compilerCache),
 		roleCache:  make(map[[2]bool]int),
 		fpIntern:   make(map[string]int32),
 		fpByPrefix: make(map[netip.Prefix]string),
@@ -180,6 +175,8 @@ func New(net *config.Network) (*Builder, error) {
 	for _, c := range b.erasedUniverse {
 		b.matchedSet[c] = true
 	}
+	b.polSpaces[0] = policy.NewSpace(b.fullUniverse)
+	b.polSpaces[1] = policy.NewSpace(b.erasedUniverse)
 	return b, nil
 }
 
@@ -354,43 +351,32 @@ func (b *Builder) NewCompiler(eraseUnusedTags bool) *policy.Compiler {
 }
 
 // NewCompilerSized is NewCompiler with an explicit BDD operation-cache size
-// exponent (see bdd.NewSized); 0 selects the default geometry.
+// exponent (see bdd.NewSized); 0 selects the default geometry. The compiler
+// is stamped from the Builder's shared policy.Space, so construction copies
+// precomputed seed arrays instead of re-deriving the universe.
 func (b *Builder) NewCompilerSized(eraseUnusedTags bool, bddCacheBits int) *policy.Compiler {
-	universe := b.fullUniverse
+	sp := b.polSpaces[0]
 	if eraseUnusedTags {
-		universe = b.erasedUniverse
+		sp = b.polSpaces[1]
 	}
-	c := policy.NewCompilerSized(universe, bddCacheBits)
-	b.mu.Lock()
-	b.register(c)
-	b.mu.Unlock()
+	c := sp.NewCompiler(bddCacheBits)
+	c.Cache = newCompilerCache()
 	return c
 }
 
-// register attaches a fresh cache to comp, evicting the oldest registration
-// past the bound. Callers hold b.mu.
-func (b *Builder) register(comp *policy.Compiler) *compilerCache {
-	cc := newCompilerCache()
-	b.compCaches[comp] = cc
-	b.compOrder = append(b.compOrder, comp)
-	for len(b.compOrder) > maxCompilerCaches {
-		old := b.compOrder[0]
-		b.compOrder = b.compOrder[1:]
-		delete(b.compCaches, old)
-	}
-	return cc
-}
-
-// cacheFor returns the canonical-relation cache attached to comp, creating
-// one for foreign compilers (not obtained via NewCompiler) or for
-// registrations that have been evicted.
+// cacheFor returns the canonical-relation cache riding on comp, creating
+// one for foreign compilers (not obtained via NewCompiler). The cache lives
+// on the compiler itself — owned by the worker goroutine that owns the
+// compiler, reachable exactly as long as the compiler is, and carried along
+// when a pool's compilers outlive a configuration delta — so workers never
+// serialize on a Builder-level registry lock, and a dropped compiler's BDD
+// tables become garbage with it.
 func (b *Builder) cacheFor(comp *policy.Compiler) *compilerCache {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	cc, ok := b.compCaches[comp]
-	if !ok {
-		cc = b.register(comp)
+	if cc, ok := comp.Cache.(*compilerCache); ok {
+		return cc
 	}
+	cc := newCompilerCache()
+	comp.Cache = cc
 	return cc
 }
 

@@ -1,0 +1,235 @@
+package build
+
+import (
+	"bytes"
+	"context"
+	"maps"
+	"reflect"
+	"testing"
+
+	"bonsai/internal/config"
+	"bonsai/internal/netgen"
+)
+
+// saveToBuffer warms b over every class and serialises its relation store.
+func saveToBuffer(t *testing.T, b *Builder) []byte {
+	t.Helper()
+	comp := b.NewCompiler(true)
+	defer comp.Close()
+	ctx := context.Background()
+	for _, cls := range b.Classes() {
+		if _, err := b.Compress(ctx, comp, cls); err != nil {
+			t.Fatalf("compress %v: %v", cls.Prefix, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := b.SaveRelationStore(&buf, comp); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// rebuilt parses the canonical print of net, modelling the recovery path
+// (checkpoint text -> parse -> build) rather than reusing in-memory objects.
+func rebuilt(t *testing.T, b *Builder) *Builder {
+	t.Helper()
+	net2, err := config.ParseString(config.PrintString(b.Cfg))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	b2, err := New(net2)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	return b2
+}
+
+func TestRelationStoreRoundTrip(t *testing.T) {
+	b, err := New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveToBuffer(t, b)
+	warm := b.AbstractionCacheStats()
+	if warm.Fresh == 0 {
+		t.Fatalf("no fresh abstractions computed before save")
+	}
+
+	b2 := rebuilt(t, b)
+	comp2 := b2.NewCompiler(true)
+	defer comp2.Close()
+	installed, err := b2.LoadRelationStore(bytes.NewReader(data), comp2)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if want := warm.Fresh + int(warm.Transported); installed != want {
+		t.Fatalf("installed %d entries, want %d (fresh %d + transported %d)",
+			installed, want, warm.Fresh, warm.Transported)
+	}
+	if n := len(b2.cacheFor(comp2).rels); n == 0 {
+		t.Fatalf("relation cache empty after load")
+	}
+
+	// Every class must be served from the loaded store without refinement,
+	// and the served abstraction must be field-identical to the original.
+	ctx := context.Background()
+	comp1 := b.NewCompiler(true)
+	defer comp1.Close()
+	for _, cls := range b2.Classes() {
+		abs2, prov, err := b2.CompressTagged(ctx, comp2, cls)
+		if err != nil {
+			t.Fatalf("warm compress %v: %v", cls.Prefix, err)
+		}
+		if prov != ProvCached {
+			t.Fatalf("class %v: provenance %v after load, want cache", cls.Prefix, prov)
+		}
+		abs1, err := b.Compress(ctx, comp1, cls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(abs1.Groups, abs2.Groups) ||
+			!reflect.DeepEqual(abs1.F, abs2.F) ||
+			!reflect.DeepEqual(abs1.Copies, abs2.Copies) ||
+			abs1.AbsDest != abs2.AbsDest || abs1.Dest != abs2.Dest ||
+			abs1.ColorSplits != abs2.ColorSplits {
+			t.Fatalf("class %v: loaded abstraction differs from original", cls.Prefix)
+		}
+		if !maps.Equal(abs1.RepEdge, abs2.RepEdge) {
+			t.Fatalf("class %v: representative edges differ", cls.Prefix)
+		}
+		if abs1.AbsG.NumNodes() != abs2.AbsG.NumNodes() || abs1.AbsG.NumLinks() != abs2.AbsG.NumLinks() {
+			t.Fatalf("class %v: abstract graph shape differs", cls.Prefix)
+		}
+		for _, u := range abs1.AbsG.Nodes() {
+			if abs1.AbsG.Name(u) != abs2.AbsG.Name(u) {
+				t.Fatalf("class %v: abstract node %d name differs", cls.Prefix, u)
+			}
+		}
+	}
+	after := b2.AbstractionCacheStats()
+	if after.Fresh != 0 {
+		t.Fatalf("warm builder ran %d fresh refinements, want 0", after.Fresh)
+	}
+	if after.LiveBytes <= 0 {
+		t.Fatalf("loaded store accounts %d bytes", after.LiveBytes)
+	}
+}
+
+func TestRelationStoreLoadIsIdempotent(t *testing.T) {
+	b, err := New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveToBuffer(t, b)
+	b2 := rebuilt(t, b)
+	n1, err := b2.LoadRelationStore(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := b2.LoadRelationStore(bytes.NewReader(data), nil)
+	if err != nil {
+		t.Fatalf("second load: %v", err)
+	}
+	if n1 == 0 || n2 != 0 {
+		t.Fatalf("loads installed %d then %d entries, want >0 then 0", n1, n2)
+	}
+}
+
+func TestRelationStoreRejectsCorruption(t *testing.T) {
+	b, err := New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveToBuffer(t, b)
+
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+	}{
+		{"empty", func(d []byte) []byte { return nil }},
+		{"bad magic", func(d []byte) []byte {
+			d[0] ^= 0xff
+			return d
+		}},
+		{"truncated mid-record", func(d []byte) []byte { return d[:len(d)/2] }},
+		{"missing trailer", func(d []byte) []byte { return d[:len(d)-9] }},
+		{"bit flip early", func(d []byte) []byte {
+			d[len(d)/4] ^= 0x10
+			return d
+		}},
+		{"bit flip late", func(d []byte) []byte {
+			d[len(d)-20] ^= 0x01
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b2 := rebuilt(t, b)
+			comp2 := b2.NewCompiler(true)
+			defer comp2.Close()
+			mangled := tc.mangle(append([]byte(nil), data...))
+			n, err := b2.LoadRelationStore(bytes.NewReader(mangled), comp2)
+			if err == nil {
+				t.Fatalf("corrupt store loaded without error (%d entries)", n)
+			}
+			// Rejection must be total: nothing installed, store untouched.
+			st := b2.AbstractionCacheStats()
+			if n != 0 || st.LiveBytes != 0 || st.Fresh != 0 {
+				t.Fatalf("partial install after rejected load: n=%d live=%d", n, st.LiveBytes)
+			}
+		})
+	}
+}
+
+func TestRelationStoreRejectsWrongNetwork(t *testing.T) {
+	b, err := New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := saveToBuffer(t, b)
+	other, err := New(netgen.Ring(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := other.LoadRelationStore(bytes.NewReader(data), nil); err == nil {
+		t.Fatalf("store for another network loaded (%d entries)", n)
+	}
+	if st := other.AbstractionCacheStats(); st.LiveBytes != 0 {
+		t.Fatalf("rejected load left %d live bytes", st.LiveBytes)
+	}
+}
+
+func TestMergeRelationCaches(t *testing.T) {
+	b, err := New(netgen.Fattree(4, netgen.PolicyShortestPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := b.NewCompiler(true)
+	defer src.Close()
+	ctx := context.Background()
+	for _, cls := range b.Classes() {
+		if _, err := b.CompressFresh(ctx, src, cls); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srcCache := b.cacheFor(src)
+	if len(srcCache.rels) == 0 {
+		t.Skip("network compiled no relations")
+	}
+	dst := b.NewCompiler(true)
+	defer dst.Close()
+	if err := b.MergeRelationCaches(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	dstCache := b.cacheFor(dst)
+	if len(dstCache.rels) != len(srcCache.rels) {
+		t.Fatalf("merged %d relations, want %d", len(dstCache.rels), len(srcCache.rels))
+	}
+	// Canonical seed handles agree across managers; relations rebuilt via
+	// import must carry identical drop semantics.
+	for k, ent := range srcCache.rels {
+		if got := dstCache.rels[k]; got.drops != ent.drops {
+			t.Fatalf("merged relation %v drops=%v, want %v", k.fp, got.drops, ent.drops)
+		}
+	}
+}

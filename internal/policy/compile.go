@@ -33,6 +33,62 @@ type Compiler struct {
 	M       *bdd.Manager
 	comms   []protocols.Community
 	commIdx map[protocols.Community]int
+	space   *Space
+
+	// Cache is a consumer-owned slot for per-compiler memo state
+	// (internal/build hangs its edge-relation cache here). It follows the
+	// compiler's single-goroutine ownership contract and dies with the
+	// compiler, so no shared registry pins it.
+	Cache any
+}
+
+// Space is a shared compilation universe: the sorted community vocabulary,
+// its index, and the canonical BDD constant space over the derived variable
+// layout. Building it once and stamping per-worker compilers from it keeps
+// every worker's terminals, variable diagrams and variable layout globally
+// canonical while each worker owns a private manager (no locking).
+type Space struct {
+	comms   []protocols.Community
+	commIdx map[protocols.Community]int
+	bs      *bdd.Space
+}
+
+// NewSpace builds the shared compilation universe for the given community
+// set (deduplicated and sorted, like NewCompiler).
+func NewSpace(universe []protocols.Community) *Space {
+	comms := append([]protocols.Community(nil), universe...)
+	sort.Slice(comms, func(i, j int) bool { return comms[i] < comms[j] })
+	dedup := comms[:0]
+	for i, c := range comms {
+		if i == 0 || c != comms[i-1] {
+			dedup = append(dedup, c)
+		}
+	}
+	comms = dedup
+	s := &Space{
+		comms:   comms,
+		commIdx: make(map[protocols.Community]int, len(comms)),
+	}
+	for i, cm := range comms {
+		s.commIdx[cm] = i
+	}
+	s.bs = bdd.NewSpace(2*len(comms) + 2*LPBits + 1)
+	return s
+}
+
+// Universe returns the space's community universe (sorted, deduplicated).
+func (s *Space) Universe() []protocols.Community { return s.comms }
+
+// NewCompiler stamps out a compiler over the shared space. The community
+// slice and index are shared read-only; the BDD manager is a private view
+// seeded from the space's canonical constant prefix (see bdd.Space).
+func (s *Space) NewCompiler(cacheBits int) *Compiler {
+	return &Compiler{
+		M:       s.bs.NewManagerSized(cacheBits),
+		comms:   s.comms,
+		commIdx: s.commIdx,
+		space:   s,
+	}
 }
 
 // NewCompiler creates a compiler over the given community universe. Passing
@@ -44,7 +100,10 @@ func NewCompiler(universe []protocols.Community) *Compiler {
 }
 
 // NewCompilerSized is NewCompiler with an explicit BDD operation-cache size
-// exponent (see bdd.NewSized); 0 selects the default geometry.
+// exponent (see bdd.NewSized); 0 selects the default geometry. The result
+// is a standalone compiler (no shared Space); handles still agree with
+// space-stamped compilers over the same universe because the seed prefix is
+// canonical either way.
 func NewCompilerSized(universe []protocols.Community, cacheBits int) *Compiler {
 	comms := append([]protocols.Community(nil), universe...)
 	sort.Slice(comms, func(i, j int) bool { return comms[i] < comms[j] })
@@ -65,6 +124,10 @@ func NewCompilerSized(universe []protocols.Community, cacheBits int) *Compiler {
 	c.M = bdd.NewSized(2*len(comms)+2*LPBits+1, cacheBits)
 	return c
 }
+
+// Space returns the shared space this compiler was stamped from, or nil
+// for a standalone compiler.
+func (c *Compiler) Space() *Space { return c.space }
 
 // Universe returns the community universe (sorted).
 func (c *Compiler) Universe() []protocols.Community { return c.comms }
@@ -191,15 +254,22 @@ func (c *Compiler) relation(st state) bdd.Node {
 	m := c.M
 	keep := m.Not(st.drop)
 	rel := m.Equiv(m.Var(c.dropOut()), st.drop)
+	// Mask every output function by keep and equate it with its output
+	// variable in two batched vector passes (AndVec shares the keep guard's
+	// expansion across the whole vector; EqVec batches the per-bit XNORs).
+	// Canonicity makes this node-identical to the element-wise fold.
+	vals := make(bdd.Vec, 0, len(c.comms)+LPBits)
+	vals = append(vals, st.comm...)
+	vals = append(vals, st.lp...)
+	outs := make([]int, 0, len(c.comms)+LPBits)
 	for i := range c.comms {
-		out := m.Var(c.commOut(i))
-		rel = m.And(rel, m.Equiv(out, m.And(keep, st.comm[i])))
+		outs = append(outs, c.commOut(i))
 	}
 	for j := 0; j < LPBits; j++ {
-		out := m.Var(c.lpOut(j))
-		rel = m.And(rel, m.Equiv(out, m.And(keep, st.lp[j])))
+		outs = append(outs, c.lpOut(j))
 	}
-	return rel
+	masked := m.AndVec(keep, vals)
+	return m.And(rel, m.EqVec(m.VarVec(outs), masked))
 }
 
 // CompileRouteMap compiles one route map for destination pfx into its

@@ -378,3 +378,63 @@ func grepLines(s, substr string) string {
 	}
 	return strings.Join(out, "\n")
 }
+
+// TestSealedRelationStoreWarmsRecovery: a drained daemon seals each durable
+// tenant's warm BDD/abstraction state beside its journal; the next daemon
+// recovers the tenant warm — identical compression results with zero fresh
+// refinements — and exposes the BDD layer on /metrics.
+func TestSealedRelationStoreWarmsRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	ctx := context.Background()
+	cfg := Config{DataDir: dataDir, Fsync: journal.SyncNever}
+
+	s1 := New(cfg)
+	hs1 := httptest.NewServer(s1)
+	c1 := NewClient(hs1.URL)
+	if err := c1.OpenNetwork(ctx, "ft", netgen.Fattree(4, netgen.PolicyShortestPath)); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	cold, err := c1.Compress(ctx, "ft", bonsai.ClassSelector{})
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if cold.Cache.Fresh == 0 {
+		t.Fatalf("cold daemon computed no abstractions: %+v", cold.Cache)
+	}
+	s1.Drain()
+	hs1.Close()
+	if _, err := os.Stat(filepath.Join(dataDir, url.PathEscape("ft"), relStoreFile)); err != nil {
+		t.Fatalf("drain did not seal a relation store: %v", err)
+	}
+
+	s2 := New(cfg)
+	hs2 := httptest.NewServer(s2)
+	defer hs2.Close()
+	defer s2.Drain()
+	c2 := NewClient(hs2.URL)
+	warm, err := c2.Compress(ctx, "ft", bonsai.ClassSelector{})
+	if err != nil {
+		t.Fatalf("warm compress: %v", err)
+	}
+	if warm.Cache.Fresh != 0 {
+		t.Fatalf("recovered daemon ran %d fresh refinements, want 0", warm.Cache.Fresh)
+	}
+	if warm.ClassesCompressed != cold.ClassesCompressed ||
+		warm.SumAbstractNodes != cold.SumAbstractNodes ||
+		warm.SumAbstractLinks != cold.SumAbstractLinks {
+		t.Fatalf("warm compression differs: %+v vs %+v", warm, cold)
+	}
+	metricsText, err := c2.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, name := range []string{
+		"bonsai_bdd_nodes_live", "bonsai_bdd_unique_load_factor",
+		"bonsai_bdd_managers", "bonsai_bdd_cache_hits_total",
+		"bonsai_bdd_cache_misses_total", "bonsai_bdd_cache_overwrites_total",
+	} {
+		if !strings.Contains(grepLines(metricsText, name), `tenant="ft"`) {
+			t.Fatalf("metric %s missing tenant series:\n%s", name, grepLines(metricsText, name))
+		}
+	}
+}

@@ -38,6 +38,15 @@ type metricSet struct {
 	nsPerClass     *metrics.GaugeVec
 	coalesceRatio  *metrics.GaugeVec
 
+	// BDD layer, refreshed from Engine.BDDStats at scrape time: live
+	// unique-table footprint and op-cache behaviour per tenant.
+	bddNodes      *metrics.GaugeVec // {tenant}
+	bddLoad       *metrics.GaugeVec
+	bddManagers   *metrics.GaugeVec
+	bddHits       *metrics.GaugeVec
+	bddMisses     *metrics.GaugeVec
+	bddOverwrites *metrics.GaugeVec
+
 	// Durability layer: gauges refreshed from journal.Stats at scrape time,
 	// counters accumulated at recovery / gap detection.
 	journalAppends  *metrics.GaugeVec   // {tenant}
@@ -99,6 +108,19 @@ func newMetricSet() *metricSet {
 		coalesceRatio: r.GaugeVec("bonsai_coalesce_ratio",
 			"Delta edits received / applied across replay streams.", "tenant"),
 
+		bddNodes: r.GaugeVec("bonsai_bdd_nodes_live",
+			"Live BDD nodes across the engine's compiler pool.", "tenant"),
+		bddLoad: r.GaugeVec("bonsai_bdd_unique_load_factor",
+			"Live nodes / unique-table slots across the pool.", "tenant"),
+		bddManagers: r.GaugeVec("bonsai_bdd_managers",
+			"BDD managers (compilers) the engine holds.", "tenant"),
+		bddHits: r.GaugeVec("bonsai_bdd_cache_hits_total",
+			"BDD operation-cache hits across the engine's lifetime.", "tenant"),
+		bddMisses: r.GaugeVec("bonsai_bdd_cache_misses_total",
+			"BDD operation-cache misses across the engine's lifetime.", "tenant"),
+		bddOverwrites: r.GaugeVec("bonsai_bdd_cache_overwrites_total",
+			"BDD op-cache stores that evicted a colliding entry (lossy-cache churn).", "tenant"),
+
 		journalAppends: r.GaugeVec("bonsaid_journal_appends_total",
 			"Deltas appended to the write-ahead journal this process.", "tenant"),
 		journalFsyncs: r.GaugeVec("bonsaid_journal_fsyncs_total",
@@ -138,8 +160,9 @@ func (m *metricSet) dropTenant(name string) {
 	for _, v := range []*metrics.GaugeVec{
 		m.inflight, m.queueDepth, m.cacheServed, m.cacheMisses, m.cacheHitRate,
 		m.cacheEvictions, m.cacheLive, m.cachePeak, m.adopted, m.adoptionRatio,
-		m.nsPerClass, m.coalesceRatio, m.journalAppends, m.journalFsyncs,
-		m.journalCkpts, m.journalTail, m.journalBytes,
+		m.nsPerClass, m.coalesceRatio, m.bddNodes, m.bddLoad, m.bddManagers,
+		m.bddHits, m.bddMisses, m.bddOverwrites, m.journalAppends,
+		m.journalFsyncs, m.journalCkpts, m.journalTail, m.journalBytes,
 	} {
 		v.Delete(name)
 	}
@@ -178,6 +201,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		if applied := t.editsApplied.Load(); applied > 0 {
 			m.coalesceRatio.With(t.name).Set(float64(t.editsReceived.Load()) / float64(applied))
 		}
+		bs := t.eng.BDDStats()
+		m.bddNodes.With(t.name).Set(float64(bs.NodesLive))
+		m.bddLoad.With(t.name).Set(bs.LoadFactor)
+		m.bddManagers.With(t.name).Set(float64(bs.Managers))
+		m.bddHits.With(t.name).Set(float64(bs.CacheHits))
+		m.bddMisses.With(t.name).Set(float64(bs.CacheMisses))
+		m.bddOverwrites.With(t.name).Set(float64(bs.CacheOverwrites))
 		m.queueDepth.With(t.name).Set(float64(len(t.applyCh)))
 		if t.jrnl != nil {
 			js := t.jrnl.Stats()

@@ -18,6 +18,7 @@ type options struct {
 	pool         *build.Pool
 	poolFloor    int64
 	poolLabel    string
+	relStore     string
 }
 
 func defaultOptions() options {
@@ -92,6 +93,17 @@ func WithSharedPool(p *SharedPool, floor int64, label string) Option {
 		o.poolFloor = floor
 		o.poolLabel = label
 	}
+}
+
+// WithRelationStore attaches a persisted relation store at path: Open loads
+// it best-effort (a missing, stale, or damaged file simply means a cold
+// start — the store is a cache, never the source of truth) and Close writes
+// the warm state back, so the next Open of the same network answers its
+// first queries from disk instead of re-running refinement. Use
+// Engine.SaveRelationStore / Engine.LoadRelationStore for explicit control
+// (and for the load/save errors Open and Close deliberately swallow).
+func WithRelationStore(path string) Option {
+	return func(o *options) { o.relStore = path }
 }
 
 func (o options) workerCount() int {

@@ -46,6 +46,27 @@ type CacheStats struct {
 	DuplicateFresh int64 `json:"duplicate_fresh,omitempty"`
 }
 
+// BDDStats is a snapshot of the engine's BDD layer: the live footprint of
+// its compiler pool's unique tables and the cumulative operation-cache
+// behaviour. Per-compiler counters fold into these aggregates when a
+// compiler is released back to the pool or retired.
+type BDDStats struct {
+	// NodesLive sums the live BDD nodes (including canonical seed prefixes)
+	// across the engine's compilers, as of each compiler's last release.
+	NodesLive int64 `json:"nodes_live"`
+	// UniqueSlots sums unique-table capacities; LoadFactor is
+	// NodesLive/UniqueSlots.
+	UniqueSlots int64   `json:"unique_slots"`
+	LoadFactor  float64 `json:"load_factor"`
+	// Managers counts compilers the engine has created and not yet retired.
+	Managers int64 `json:"managers"`
+	// CacheHits/CacheMisses count op-cache probes; CacheOverwrites counts
+	// stores that evicted a colliding entry (the lossy-cache churn signal).
+	CacheHits       uint64 `json:"cache_hits"`
+	CacheMisses     uint64 `json:"cache_misses"`
+	CacheOverwrites uint64 `json:"cache_overwrites"`
+}
+
 // NetworkInfo describes the concrete network an engine is serving.
 type NetworkInfo struct {
 	Name       string `json:"name,omitempty"`
